@@ -1,0 +1,20 @@
+"""E-A3 bench: RAIR's gain must survive every deadlock-free routing.
+
+Paper claim asserted (Section IV.D): RAIR places no restriction on the
+routing algorithm — the App0 (inter-region, low-load) APL reduction is
+positive under deterministic XY, both turn models, Duato local-adaptive
+and DBAR, while App1's cost stays bounded.
+"""
+
+from benchmarks.conftest import emit, run_once
+from repro.experiments import ablation_routing
+
+
+def test_rair_gain_across_routings(benchmark, effort, results_dir):
+    result = run_once(benchmark, ablation_routing.run, effort=effort)
+    emit(results_dir, "ablation_routing", result)
+
+    for row in result.rows:
+        assert row["drained"], f"undrained: {row['routing']}"
+        assert row["red_app0"] > 0, f"RAIR must help App0 under {row['routing']}"
+        assert row["red_app1"] > -0.30, f"App1 cost unbounded under {row['routing']}"

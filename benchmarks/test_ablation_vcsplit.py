@@ -1,0 +1,24 @@
+"""E-A2 bench: regional:global VC split (paper Section VI).
+
+Paper argument asserted loosely: every split keeps RAIR beneficial on the
+generic six-app mix, and the recommended even split is within noise of the
+best skewed split (it is the robust choice, not necessarily the absolute
+winner on any single workload).
+"""
+
+from benchmarks.conftest import emit, run_once
+from repro.experiments import ablation_vcsplit
+
+
+def test_vc_split_ablation(benchmark, effort, results_dir):
+    result = run_once(benchmark, ablation_vcsplit.run, effort=effort)
+    emit(results_dir, "ablation_vcsplit", result)
+
+    by_split = {row["split"]: row["red_avg"] for row in result.rows}
+    assert set(by_split) == {"1G:3R", "2G:2R", "3G:1R"}
+
+    for split, red in by_split.items():
+        assert red > -0.05, f"split {split} must not catastrophically regress"
+
+    best = max(by_split.values())
+    assert by_split["2G:2R"] >= best - 0.06

@@ -1,0 +1,39 @@
+"""E-F9 bench: Figure 9 — multi-stage prioritization under a p sweep.
+
+Paper shape asserted: at p=100%, RAIR variants beat RO_RR on App0's APL
+with MSP at VA+SA at least as good as VA-only, while App1's penalty stays
+bounded; all APLs rise with p.
+"""
+
+from benchmarks.conftest import emit, run_once
+from repro.experiments import fig09_msp
+
+
+P_VALUES = (0.0, 0.5, 1.0)
+
+
+def test_fig09_msp_shape(benchmark, effort, results_dir):
+    result = run_once(
+        benchmark, fig09_msp.run, effort=effort, p_values=P_VALUES
+    )
+    emit(results_dir, "fig09_msp", result)
+
+    rr_0 = result.row_by(p_inter="0%", scheme="RO_RR")
+    rr_100 = result.row_by(p_inter="100%", scheme="RO_RR")
+    va_100 = result.row_by(p_inter="100%", scheme="RAIR_VA")
+    full_100 = result.row_by(p_inter="100%", scheme="RAIR_VA+SA")
+
+    for row in result.rows:
+        assert row["drained"], f"undrained run: {row}"
+
+    # APL grows with p (more hops + more contention).
+    assert rr_100["apl_app0"] > rr_0["apl_app0"]
+
+    # MSP cuts App0's APL markedly at p=100% (paper: -18.9% for VA+SA).
+    assert full_100["apl_app0"] < rr_100["apl_app0"] * 0.92
+    # Enforcing priority at both VA and SA is at least as good as VA alone.
+    assert full_100["apl_app0"] <= va_100["apl_app0"] * 1.02
+    assert va_100["apl_app0"] < rr_100["apl_app0"]
+
+    # App1's slowdown stays bounded (paper: <3%; we allow scaled-window noise).
+    assert full_100["apl_app1"] < rr_100["apl_app1"] * 1.25

@@ -1,0 +1,34 @@
+"""E-F10 bench: Figure 10 — RAIR composed with different routing algorithms.
+
+Paper shape asserted at p=100%: RAIR variants beat their round-robin
+counterparts on App0; RAIR_DBAR is the best App0 configuration overall and
+DBAR routing does not wreck App1.
+"""
+
+from benchmarks.conftest import emit, run_once
+from repro.experiments import fig10_routing
+
+
+def test_fig10_routing_shape(benchmark, effort, results_dir):
+    result = run_once(benchmark, fig10_routing.run, effort=effort, p_values=(0.5, 1.0))
+    emit(results_dir, "fig10_routing", result)
+
+    rr_local = result.row_by(p_inter="100%", scheme="RO_RR_Local")
+    rair_local = result.row_by(p_inter="100%", scheme="RAIR_Local")
+    rr_dbar = result.row_by(p_inter="100%", scheme="RO_RR_DBAR")
+    rair_dbar = result.row_by(p_inter="100%", scheme="RAIR_DBAR")
+
+    # RAIR beats round-robin under both routing algorithms (paper: the
+    # contention reduction dominates the routing gain).
+    assert rair_local["apl_app0"] < rr_local["apl_app0"]
+    assert rair_dbar["apl_app0"] < rr_dbar["apl_app0"]
+
+    # RAIR_DBAR is the strongest configuration for the inter-region app.
+    best = min(
+        rr_local["apl_app0"], rair_local["apl_app0"], rr_dbar["apl_app0"]
+    )
+    assert rair_dbar["apl_app0"] <= best * 1.05
+
+    # App1 under RAIR_DBAR stays within a reasonable envelope of the
+    # RO_RR_Local reference (paper: fully recovered).
+    assert rair_dbar["apl_app1"] < rr_local["apl_app1"] * 1.3

@@ -1,0 +1,27 @@
+"""E-F15 bench: Figure 15 — global traffic patterns (UR/TP/BC/HS).
+
+Paper shape asserted: RA_RAIR achieves a positive average APL reduction on
+*every* global traffic pattern (it places no implicit restrictions on the
+inter-region pattern) and remains the best scheme averaged over patterns.
+"""
+
+from benchmarks.conftest import emit, run_once
+from repro.experiments import fig15_patterns
+
+
+def test_fig15_patterns_shape(benchmark, effort, results_dir):
+    result = run_once(benchmark, fig15_patterns.run, effort=effort)
+    emit(results_dir, "fig15_patterns", result)
+
+    patterns = ("UR", "TP", "BC", "HS")
+    for pattern in patterns:
+        rair = result.row_by(pattern=pattern, scheme="RA_RAIR")
+        assert rair["red_avg"] > 0, f"RAIR must help under {pattern}"
+
+    def avg(scheme):
+        return sum(
+            result.row_by(pattern=p, scheme=scheme)["red_avg"] for p in patterns
+        ) / len(patterns)
+
+    assert avg("RA_RAIR") > avg("RO_Rank")
+    assert avg("RA_RAIR") > avg("RA_DBAR")

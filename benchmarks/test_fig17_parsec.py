@@ -1,0 +1,27 @@
+"""E-F17 bench: Figure 17 — PARSEC-like workloads under adversarial traffic.
+
+Paper shape asserted: average slowdown ordering
+RO_RR > RA_DBAR, RO_Rank > RA_RAIR, with RA_RAIR clearly the most
+protective scheme (paper: 1.92 / 1.75 / 1.47 / 1.18).
+"""
+
+from benchmarks.conftest import emit, run_once
+from repro.experiments import fig17_parsec
+
+
+def test_fig17_adversarial_shape(benchmark, effort, results_dir):
+    result = run_once(benchmark, fig17_parsec.run, effort=effort)
+    emit(results_dir, "fig17_parsec", result)
+
+    slow = {row["scheme"]: row["slow_avg"] for row in result.rows}
+
+    # Every scheme suffers some slowdown from the flood.
+    for scheme, s in slow.items():
+        assert s > 1.0, f"{scheme} should slow down under the flood, got {s}"
+
+    # RAIR is the most protective (the flood is foreign everywhere).
+    assert slow["RA_RAIR"] < slow["RO_RR"]
+    assert slow["RA_RAIR"] < slow["RA_DBAR"]
+    assert slow["RA_RAIR"] < slow["RO_Rank"]
+    # Round-robin is the least protective (paper's worst case).
+    assert slow["RO_RR"] >= max(slow["RA_DBAR"], slow["RA_RAIR"]) * 0.95

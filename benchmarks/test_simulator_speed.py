@@ -1,0 +1,40 @@
+"""Microbenchmarks of the simulator core itself.
+
+These are the classic pytest-benchmark use case (repeatable timing of a
+hot path) and guard against performance regressions in the router loop —
+the experiment macro-benchmarks depend on the simulator sustaining
+O(10-100k) router-cycles per second.
+"""
+
+import pytest
+
+from repro import build_simulation
+from repro.noc.config import NocConfig
+from repro.traffic.patterns import UniformPattern
+from repro.traffic.synthetic import BimodalLengths, SyntheticTrafficSource
+
+
+def make_loaded_sim(scheme: str, rate: float = 0.2, warm: int = 200):
+    cfg = NocConfig()
+    sim, net = build_simulation(cfg, scheme=scheme, routing="local")
+    sim.add_traffic(
+        SyntheticTrafficSource(
+            nodes=range(64), rate=rate, pattern=UniformPattern(net.topology),
+            app_id=0, seed=11, lengths=BimodalLengths(),
+        )
+    )
+    sim.run(warm)
+    return sim
+
+
+@pytest.mark.parametrize("scheme", ["ro_rr", "rair", "stc"])
+def test_steady_state_cycles(benchmark, scheme):
+    """Cost of 100 steady-state cycles at 0.2 flits/node/cycle (8x8)."""
+    sim = make_loaded_sim(scheme)
+    benchmark.pedantic(sim.run, args=(100,), rounds=5, iterations=1, warmup_rounds=1)
+
+
+def test_idle_network_step_is_cheap(benchmark):
+    cfg = NocConfig()
+    sim, _ = build_simulation(cfg)
+    benchmark.pedantic(sim.run, args=(1000,), rounds=5, iterations=1)

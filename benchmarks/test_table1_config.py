@@ -1,0 +1,20 @@
+"""E-T1 bench: render Table 1 and sanity-check the default configuration."""
+
+from benchmarks.conftest import emit, run_once
+from repro.experiments import table1
+from repro.noc.config import NocConfig
+
+
+def test_table1_configuration(benchmark, results_dir):
+    result = run_once(benchmark, table1.run)
+    emit(results_dir, "table1", result)
+    # The network-visible rows must reflect the paper's Table 1 values.
+    cfg = NocConfig(num_vnets=2)
+    assert cfg.num_nodes == 64
+    assert len(cfg.vc_classes) == 4  # Table 1: 4 VCs per protocol class
+    assert cfg.escape_vcs == 1  # plus the additional escape set (Sec. IV.D)
+    assert cfg.vc_depth == 5
+    assert cfg.link_bits == 128
+    vc_row = result.row_by(item="Virtual channels")
+    assert "atomic" in vc_row["paper"]
+    assert "atomic" in vc_row["repro"]

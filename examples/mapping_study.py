@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Region-layout study: how region shape and count affect interference.
+
+RAIR's per-router state is independent of the number of regions (paper
+Section VI), so it can serve many small regions as easily as two big ones.
+This example maps the same six-application workload onto three different
+layouts — two halves (apps doubled up), 3x2 grid, and 2x3 grid — and
+compares RO_RR vs RA_RAIR on each, demonstrating that:
+
+* interference reduction survives arbitrary rectangular layouts,
+* more/smaller regions mean shorter intra-region paths (lower base APL),
+* RAIR's relative benefit holds across layouts.
+
+Run:  python examples/mapping_study.py
+"""
+
+from repro import RegionMap, build_simulation
+from repro.noc import NocConfig
+from repro.noc.topology import MeshTopology
+from repro.traffic import RegionalAppTraffic
+from repro.util.rng import spawn_rngs
+
+#: per-app offered load in flits/node/cycle (alternating light/heavy —
+#: heavy apps sit near the *smallest* layout's latency knee (the halves
+#: region saturates around 0.385) so every layout stays stable while still
+#: having real interference to reduce)
+LOADS = (0.06, 0.30, 0.10, 0.12, 0.15, 0.30)
+
+
+def layout_variants(topology: MeshTopology) -> dict[str, RegionMap]:
+    return {
+        "3x2 grid (6 regions)": RegionMap.grid(topology, 3, 2),
+        "2x3 grid (6 regions)": RegionMap.grid(topology, 2, 3),
+        "2x1 halves (2 regions)": RegionMap.halves(topology),
+    }
+
+
+def run(regions: RegionMap, scheme: str, seed: int = 21) -> dict:
+    """APL per app class: light apps send 40% inter-region traffic that
+    must cross the heavy apps' busy regions — the interference RAIR cuts."""
+    config = NocConfig()
+    sim, net = build_simulation(config, region_map=regions, scheme=scheme, routing="local")
+    rngs = spawn_rngs(seed, regions.num_apps)
+    heavy = {app for app in regions.apps if LOADS[app % len(LOADS)] >= 0.3}
+    for app in regions.apps:
+        if app in heavy:
+            fractions = dict(intra_fraction=1.0, inter_fraction=0.0, mc_fraction=0.0)
+        else:
+            fractions = dict(intra_fraction=0.6, inter_fraction=0.4, mc_fraction=0.0)
+        sim.add_traffic(
+            RegionalAppTraffic(
+                regions, app, rate=LOADS[app % len(LOADS)], seed=rngs[app],
+                **fractions,
+            )
+        )
+    result = sim.run_measurement(warmup=800, measure=3000, drain_limit=80_000)
+    per_app = net.stats.per_app_apl(window=result.window)
+    light = [v for a, v in per_app.items() if a not in heavy]
+    heavy_apl = [v for a, v in per_app.items() if a in heavy]
+    return {
+        "light": sum(light) / len(light),
+        "heavy": sum(heavy_apl) / len(heavy_apl),
+    }
+
+
+def main() -> None:
+    topology = MeshTopology(8, 8)
+    print("Light apps (40% inter-region) vs heavy apps, per region layout\n")
+    print(f"{'layout':26}{'light RR':>10}{'light RAIR':>12}{'gain':>8}{'heavy cost':>12}")
+    for name, regions in layout_variants(topology).items():
+        base = run(regions, "ro_rr")
+        rair = run(regions, "rair")
+        gain = 1 - rair["light"] / base["light"]
+        cost = rair["heavy"] / base["heavy"] - 1
+        print(
+            f"  {name:24}{base['light']:10.1f}{rair['light']:12.1f}"
+            f"{gain:>8.1%}{cost:>11.1%}"
+        )
+    print(
+        "\nRAIR accelerates the light applications' inter-region packets"
+        "\nunder every layout; no per-region router state means the layout"
+        "\nchange itself is free (paper Section VI)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Quickstart: build a regionalized NoC, run RAIR vs round-robin, compare.
+
+This walks the full public API surface in ~60 lines:
+
+1. configure a network (:class:`repro.noc.NocConfig`),
+2. place two applications in regions (:class:`repro.RegionMap`),
+3. build a simulator per scheme (:func:`repro.build_simulation`),
+4. attach regionalized traffic (:class:`repro.traffic.RegionalAppTraffic`),
+5. run the paper's warmup/measure/drain protocol and read per-app APLs.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import RegionMap, build_simulation
+from repro.noc import NocConfig
+from repro.noc.topology import MeshTopology
+from repro.traffic import RegionalAppTraffic
+
+
+def run_scheme(scheme: str, seed: int = 42) -> dict[int, float]:
+    """Simulate the two-application scenario under one arbitration scheme."""
+    config = NocConfig()  # paper defaults: 8x8 mesh, 4 VCs (2G/2R), 5-flit buffers
+    topology = MeshTopology(config.width, config.height)
+    regions = RegionMap.halves(topology)  # App0 left half, App1 right half
+
+    sim, net = build_simulation(
+        config,
+        region_map=regions,
+        scheme=scheme,  # "ro_rr", "age", "stc", or "rair"
+        routing="local",  # Duato-adaptive minimal routing with escape VCs
+    )
+
+    # App0: light load, but half of its packets cross into App1's region.
+    sim.add_traffic(
+        RegionalAppTraffic(
+            regions, app_id=0, rate=0.04, seed=seed,
+            intra_fraction=0.5, inter_fraction=0.5, mc_fraction=0.0,
+        )
+    )
+    # App1: heavy load, fully contained in its own region.
+    sim.add_traffic(
+        RegionalAppTraffic(
+            regions, app_id=1, rate=0.30, seed=seed + 1,
+            intra_fraction=1.0, inter_fraction=0.0, mc_fraction=0.0,
+        )
+    )
+
+    # Paper protocol (Section V.A), scaled down: warm up, measure, drain.
+    result = sim.run_measurement(warmup=1000, measure=4000)
+    assert result.drained, "measurement window did not drain — load too high?"
+    return net.stats.per_app_apl(window=result.window)
+
+
+def main() -> None:
+    print("Two applications on an 8x8 regionalized NoC")
+    print("  App0: low load, 50% inter-region (its packets cross App1's region)")
+    print("  App1: high load, intra-region only\n")
+
+    baseline = run_scheme("ro_rr")
+    rair = run_scheme("rair")
+
+    print(f"{'':14}{'RO_RR':>10}{'RA_RAIR':>10}{'change':>9}")
+    for app in sorted(baseline):
+        change = rair[app] / baseline[app] - 1.0
+        print(
+            f"  App{app} APL   {baseline[app]:10.1f}{rair[app]:10.1f}{change:+9.1%}"
+        )
+    print(
+        "\nRAIR accelerates App0's critical inter-region packets by"
+        " prioritizing foreign traffic on global VCs and adapting regional-VC"
+        " priority to the load imbalance (paper Section IV)."
+    )
+
+
+if __name__ == "__main__":
+    main()

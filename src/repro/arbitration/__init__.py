@@ -1,0 +1,51 @@
+"""Arbitration policies: who wins each router arbitration step.
+
+A policy decides four things each cycle (the paper's Section IV.B
+arbitration steps):
+
+* which single ``(output port, output VC)`` an input VC requests (VA_in),
+* which requesting input VC each output VC grants (VA_out),
+* which input VC each input port forwards to the switch (SA_in),
+* which input port each output port grants the crossbar (SA_out).
+
+Baselines live here (round-robin = RO_RR, age-based/oldest-first, and the
+idealized STC ranking scheme = RO_Rank); the paper's contribution, RAIR,
+is a policy too and lives in :mod:`repro.core.rair`.
+"""
+
+from repro.arbitration.age_based import AgeBasedPolicy
+from repro.arbitration.base import ArbitrationPolicy, rotating_pick
+from repro.arbitration.qos import RairQosPolicy, WeightedQosPolicy
+from repro.arbitration.round_robin import RoundRobinPolicy
+from repro.arbitration.stc import StcPolicy
+
+__all__ = [
+    "ArbitrationPolicy",
+    "rotating_pick",
+    "RoundRobinPolicy",
+    "AgeBasedPolicy",
+    "StcPolicy",
+    "WeightedQosPolicy",
+    "RairQosPolicy",
+    "make_policy",
+]
+
+
+def make_policy(name: str, **kwargs) -> ArbitrationPolicy:
+    """Construct a policy by name (``rr``/``age``/``stc``/``rair`` and variants)."""
+    lname = name.lower()
+    if lname in ("rr", "round_robin", "ro_rr"):
+        return RoundRobinPolicy(**kwargs)
+    if lname in ("age", "oldest_first"):
+        return AgeBasedPolicy(**kwargs)
+    if lname in ("stc", "rank", "ro_rank"):
+        return StcPolicy(**kwargs)
+    if lname in ("qos", "qos_weighted"):
+        return WeightedQosPolicy(**kwargs)
+    if lname == "rair_qos":
+        return RairQosPolicy(**kwargs)
+    if lname.startswith("rair"):
+        from repro.core.rair import RairPolicy
+
+        return RairPolicy(**kwargs)
+    raise ValueError(f"unknown arbitration policy {name!r}")

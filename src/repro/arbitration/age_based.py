@@ -1,0 +1,28 @@
+"""Oldest-first (age-based) arbitration.
+
+Prioritizes the packet with the earliest injection cycle at every
+arbitration step — the classic age-based scheme of Abts & Weisser [1],
+cited by the paper as an early region- and application-oblivious
+technique. Age ordering is globally consistent, so it is starvation-free
+by construction (a packet's age rank only improves with time).
+"""
+
+from __future__ import annotations
+
+from repro.arbitration.base import ArbitrationPolicy
+
+__all__ = ["AgeBasedPolicy"]
+
+
+class AgeBasedPolicy(ArbitrationPolicy):
+    """Oldest packet wins VA_out, SA_in and SA_out."""
+
+    name = "age"
+    uses_va_priority = True
+    uses_sa_priority = True
+
+    def va_out_priority(self, router, out_vc_class, invc):
+        return invc.pkt.inject_cycle
+
+    def sa_priority(self, router, invc):
+        return invc.pkt.inject_cycle

@@ -1,0 +1,18 @@
+"""Region-oblivious round-robin arbitration — the paper's RO_RR baseline.
+
+Every arbitration step is a plain rotating pick with no priority classes.
+This is exactly the base policy; the subclass exists so experiment reports
+carry the paper's scheme name.
+"""
+
+from __future__ import annotations
+
+from repro.arbitration.base import ArbitrationPolicy
+
+__all__ = ["RoundRobinPolicy"]
+
+
+class RoundRobinPolicy(ArbitrationPolicy):
+    """RO_RR: round-robin at VA_out, SA_in and SA_out."""
+
+    name = "ro_rr"

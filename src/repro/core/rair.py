@@ -1,0 +1,141 @@
+"""The RAIR arbitration policy: VC regionalization + MSP + DPA combined.
+
+This is the paper's proposed technique (Section IV.E "putting it all
+together") expressed as an :class:`~repro.arbitration.base.ArbitrationPolicy`:
+
+* **native/foreign identification** — each router carries the application
+  id of its node (from the :class:`~repro.core.regions.RegionMap` installed
+  on the network); the input VC caches whether its resident packet's app id
+  matches (done at head-flit arrival by the router).
+* **VA_in** — untouched contention-wise, but the VC *request preference*
+  is class-aware: foreign packets request free global VCs first, native
+  packets free regional VCs first (falling back to the other class, since
+  classification is by priority, not partition).
+* **VA_out** — global output VCs always prefer foreign requesters;
+  regional output VCs follow the DPA state (Section IV.A rules).
+* **SA_in / SA_out** — the DPA state decides whether native or foreign
+  flits win the switch (enabled by ``stages``; ``Stage.VA`` alone gives
+  the paper's RAIR_VA ablation).
+* **DPA** — per-router occupied-VC counters (maintained by the router on
+  head arrival / tail departure) feed the hysteresis update once per
+  cycle; the result is used from the *next* cycle, mirroring the paper's
+  off-critical-path implementation. ``DpaConfig.mode`` pins the priority
+  for the RAIR_NativeH / RAIR_ForeignH variants of Fig. 12.
+
+Scalability note (paper Section VI): all state is two counters and one bit
+per router — nothing scales with the number of regions or applications.
+"""
+
+from __future__ import annotations
+
+from repro.arbitration.base import ArbitrationPolicy, rotating_pick
+from repro.core.dpa import DpaConfig, hysteresis_update
+from repro.core.msp import Stage
+from repro.core.vc_regionalization import (
+    global_vc_priority,
+    preferred_class,
+    regional_vc_priority,
+)
+from repro.noc.config import VcClass
+
+__all__ = ["RairPolicy"]
+
+
+class RairPolicy(ArbitrationPolicy):
+    """Region-aware interference reduction (RA_RAIR and its ablation variants).
+
+    Parameters
+    ----------
+    stages:
+        Where MSP enforces priority: ``Stage.VA`` (RAIR_VA),
+        ``Stage.ALL`` (RAIR_VA+SA — the default, full RAIR).
+    dpa:
+        DPA configuration; ``DpaConfig(mode="native")`` /
+        ``DpaConfig(mode="foreign")`` give the static-priority variants.
+    """
+
+    name = "ra_rair"
+    uses_va_priority = True
+
+    def __init__(self, stages: Stage = Stage.ALL, dpa: DpaConfig | None = None):
+        super().__init__()
+        if not isinstance(stages, Stage):
+            raise TypeError(f"stages must be a Stage flag, got {stages!r}")
+        self.stages = stages
+        self.dpa = dpa or DpaConfig()
+        self.uses_va_priority = bool(stages & Stage.VA)
+        self.uses_sa_priority = bool(stages & Stage.SA)
+        if self.uses_va_priority and self.uses_sa_priority:
+            self.name = "ra_rair"
+        elif self.uses_va_priority:
+            self.name = "rair_va"
+        else:
+            self.name = "rair_none"
+        if self.dpa.mode == "native":
+            self.name += "_nativeH"
+        elif self.dpa.mode == "foreign":
+            self.name += "_foreignH"
+
+    def attach(self, network) -> None:
+        super().attach(network)
+        # Initial DPA state: foreign-high by default (paper Section IV.C
+        # case 3 gives foreign priority "by default"); static modes pin it.
+        init = self.dpa.mode == "native"
+        for router in network.routers:
+            router.native_high = init
+
+    # -- VA_in preference -------------------------------------------------------
+    def choose_request(self, router, invc, options):
+        """Class-aware VC request: preferred class first within the best port."""
+        first_port = options[0][0]
+        port_options = [o for o in options if o[0] == first_port]
+        if len(port_options) > 1:
+            want = preferred_class(invc.is_native)
+            cfg = router.config
+            preferred = [o for o in port_options if cfg.vc_class(o[1]) is want]
+            if preferred:
+                port_options = preferred
+        if len(port_options) == 1:
+            return port_options[0]
+        ptr = router.va_req_ptr[first_port]
+        winner, router.va_req_ptr[first_port] = rotating_pick(
+            port_options, lambda o: o[1], ptr, router.total_vcs
+        )
+        return winner
+
+    # -- priority keys ------------------------------------------------------------
+    def va_out_priority(self, router, out_vc_class, invc):
+        if out_vc_class is VcClass.GLOBAL:
+            return global_vc_priority(invc.is_native)
+        if out_vc_class is VcClass.ESCAPE:
+            # Escape VCs sit outside the regional/global classification
+            # (Section IV.D); their allocation stays priority-neutral so
+            # the deadlock-free fallback lane is equally reachable.
+            return 0
+        return regional_vc_priority(invc.is_native, router.native_high)
+
+    def sa_priority(self, router, invc):
+        return regional_vc_priority(invc.is_native, router.native_high)
+
+    # -- DPA update -----------------------------------------------------------------
+    def end_router_cycle(self, router, cycle: int) -> None:
+        if self.dpa.mode == "dynamic":
+            router.native_high = hysteresis_update(
+                router.native_high, router.ovc_n, router.ovc_f, self.dpa.delta
+            )
+
+    # -- convenience constructors ------------------------------------------------
+    @classmethod
+    def va_only(cls) -> "RairPolicy":
+        """RAIR_VA: MSP at the VA stage only (Fig. 9 ablation)."""
+        return cls(stages=Stage.VA)
+
+    @classmethod
+    def native_high(cls) -> "RairPolicy":
+        """RAIR_NativeH: static native-first priority (Fig. 12 ablation)."""
+        return cls(dpa=DpaConfig(mode="native"))
+
+    @classmethod
+    def foreign_high(cls) -> "RairPolicy":
+        """RAIR_ForeignH: static foreign-first priority (Fig. 12 ablation)."""
+        return cls(dpa=DpaConfig(mode="foreign"))

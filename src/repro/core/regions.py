@@ -1,0 +1,176 @@
+"""Region maps: which application owns which node.
+
+A *region* is the set of nodes an application's threads are mapped to
+(paper Section II: regional behaviours RB-1/RB-2 — concurrently running
+applications, clustered placement). The region map is the only global
+knowledge RAIR needs: each router is tagged with the application number
+assigned to its node, and a packet traversing it is *native* if the tags
+match, *foreign* otherwise (Section IV.E).
+
+Builders cover the layouts of the paper's figures: left/right halves
+(Fig. 8), quadrants (Figs. 11 and 16), and an m x n grid for the
+six-application scenario (Fig. 13). Arbitrary rectangle lists and raw
+assignments are supported for custom studies; nodes may be left unassigned
+(app id -1, e.g. dedicated memory-controller tiles), in which case all
+traffic through them is foreign.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.noc.topology import MeshTopology
+from repro.util.errors import ConfigError
+
+__all__ = ["RegionMap"]
+
+UNASSIGNED = -1
+
+
+class RegionMap:
+    """Immutable node -> application assignment over a mesh.
+
+    Application ids double as region ids: the paper assigns one region per
+    application, and RAIR's per-router state is independent of the region
+    count (Section VI scalability discussion), so nothing here limits how
+    many regions a mesh may carry.
+    """
+
+    def __init__(self, topology: MeshTopology, node_app: Sequence[int]):
+        if len(node_app) != topology.num_nodes:
+            raise ConfigError(
+                f"node_app has {len(node_app)} entries for {topology.num_nodes} nodes"
+            )
+        apps = set()
+        for node, app in enumerate(node_app):
+            if app != UNASSIGNED and app < 0:
+                raise ConfigError(f"node {node} has invalid app id {app}")
+            if app != UNASSIGNED:
+                apps.add(app)
+        self.topology = topology
+        self.node_app: tuple[int, ...] = tuple(int(a) for a in node_app)
+        self.apps: tuple[int, ...] = tuple(sorted(apps))
+
+    # -- constructors ----------------------------------------------------------
+    @classmethod
+    def single(cls, topology: MeshTopology, app: int = 0) -> "RegionMap":
+        """One region covering the whole chip (a conventional NoC)."""
+        return cls(topology, [app] * topology.num_nodes)
+
+    @classmethod
+    def halves(cls, topology: MeshTopology, vertical: bool = True) -> "RegionMap":
+        """Two regions: left/right halves (Fig. 8) or top/bottom."""
+        assign = []
+        for node in range(topology.num_nodes):
+            x, y = topology.coords(node)
+            if vertical:
+                assign.append(0 if x < topology.width // 2 else 1)
+            else:
+                assign.append(0 if y < topology.height // 2 else 1)
+        return cls(topology, assign)
+
+    @classmethod
+    def quadrants(cls, topology: MeshTopology) -> "RegionMap":
+        """Four regions (Figs. 11 and 16): app i in quadrant i.
+
+        Numbering: 0 = north-west, 1 = north-east, 2 = south-west,
+        3 = south-east.
+        """
+        return cls.grid(topology, 2, 2)
+
+    @classmethod
+    def grid(cls, topology: MeshTopology, cols: int, rows: int) -> "RegionMap":
+        """``cols`` x ``rows`` near-equal rectangular regions, row-major ids.
+
+        Uneven divisions are balanced with integer rounding (an 8-wide mesh
+        split into 3 columns gets widths 3/3/2), which is how we realize the
+        paper's six-region (3 x 2) configuration on an 8x8 mesh.
+        """
+        if cols < 1 or rows < 1 or cols > topology.width or rows > topology.height:
+            raise ConfigError(
+                f"cannot split {topology.width}x{topology.height} mesh into {cols}x{rows} regions"
+            )
+        col_of = _band_index(topology.width, cols)
+        row_of = _band_index(topology.height, rows)
+        assign = []
+        for node in range(topology.num_nodes):
+            x, y = topology.coords(node)
+            assign.append(row_of[y] * cols + col_of[x])
+        return cls(topology, assign)
+
+    @classmethod
+    def from_rects(
+        cls,
+        topology: MeshTopology,
+        rects: Sequence[tuple[int, int, int, int]],
+        allow_unassigned: bool = False,
+    ) -> "RegionMap":
+        """Regions from ``(x0, y0, width, height)`` rectangles, app i = rect i.
+
+        Rectangles must be disjoint; full coverage is required unless
+        ``allow_unassigned`` is set.
+        """
+        assign = [UNASSIGNED] * topology.num_nodes
+        for app, (x0, y0, w, h) in enumerate(rects):
+            if w < 1 or h < 1:
+                raise ConfigError(f"rect {app} has non-positive size {w}x{h}")
+            if x0 < 0 or y0 < 0 or x0 + w > topology.width or y0 + h > topology.height:
+                raise ConfigError(f"rect {app} {(x0, y0, w, h)} leaves the mesh")
+            for y in range(y0, y0 + h):
+                for x in range(x0, x0 + w):
+                    node = topology.node_at(x, y)
+                    if assign[node] != UNASSIGNED:
+                        raise ConfigError(
+                            f"rects {assign[node]} and {app} both cover node {node}"
+                        )
+                    assign[node] = app
+        if not allow_unassigned and UNASSIGNED in assign:
+            missing = [n for n, a in enumerate(assign) if a == UNASSIGNED]
+            raise ConfigError(f"rects leave nodes unassigned: {missing[:8]}...")
+        return cls(topology, assign)
+
+    # -- queries -----------------------------------------------------------------
+    @property
+    def num_apps(self) -> int:
+        """Number of distinct applications (regions)."""
+        return len(self.apps)
+
+    def app_of(self, node: int) -> int:
+        """Application assigned to ``node`` (-1 if unassigned)."""
+        return self.node_app[node]
+
+    def nodes_of(self, app: int) -> tuple[int, ...]:
+        """All nodes belonging to application ``app``."""
+        return tuple(n for n, a in enumerate(self.node_app) if a == app)
+
+    def is_global_pair(self, src: int, dst: int) -> bool:
+        """True when ``src`` and ``dst`` lie in different regions."""
+        return self.node_app[src] != self.node_app[dst]
+
+    def region_fraction(self, app: int) -> float:
+        """Fraction of the chip owned by ``app``."""
+        return len(self.nodes_of(app)) / self.topology.num_nodes
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, RegionMap)
+            and other.node_app == self.node_app
+            and other.topology.width == self.topology.width
+            and other.topology.height == self.topology.height
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.topology.width, self.topology.height, self.node_app))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"RegionMap({self.topology.width}x{self.topology.height}, {self.num_apps} apps)"
+
+
+def _band_index(extent: int, bands: int) -> list[int]:
+    """Map each coordinate in [0, extent) to one of ``bands`` near-equal bands."""
+    # Boundaries by rounding i*extent/bands, giving band sizes that differ
+    # by at most one.
+    index = []
+    for coord in range(extent):
+        index.append(min(bands - 1, coord * bands // extent))
+    return index

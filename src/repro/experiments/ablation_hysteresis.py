@@ -1,0 +1,64 @@
+"""E-A1 — ablation: DPA hysteresis width (paper Section IV.C).
+
+The paper observes that hysteresis deltas between 0.1 and 0.3 "typically
+render better performance with the best case achieved at around 0.2".
+This ablation sweeps delta over the six-application scenario and reports
+the average APL reduction vs RO_RR; delta=0 (no hysteresis) is included to
+show the cost of reacting to every transient VC-occupancy flip.
+"""
+
+from __future__ import annotations
+
+from repro.core.dpa import DpaConfig
+from repro.experiments.report import effort_argparser, parse_effort
+from repro.experiments.runner import SCHEMES, Effort, FigureResult, run_scenario
+from repro.experiments.scenarios import six_app
+
+__all__ = ["run", "main", "DELTAS"]
+
+DELTAS = (0.0, 0.1, 0.2, 0.3, 0.4)
+
+
+def run(effort: Effort = Effort.MEDIUM, seed: int = 42, deltas=DELTAS) -> FigureResult:
+    """One row per hysteresis delta."""
+    scenario = six_app()
+    base = run_scenario(SCHEMES["RO_RR"], scenario, effort=effort, seed=seed)
+    apps = sorted(base.per_app_apl)
+    rows = []
+    for delta in deltas:
+        res = run_scenario(
+            SCHEMES["RA_RAIR"],
+            scenario,
+            effort=effort,
+            seed=seed,
+            policy_overrides={"dpa": DpaConfig(delta=delta)},
+        )
+        reds = [res.reduction_vs(base, app=app) for app in apps]
+        rows.append(
+            {
+                "delta": delta,
+                "red_avg": sum(reds) / len(reds),
+                "apl": res.apl,
+                "drained": res.drained,
+            }
+        )
+    return FigureResult(
+        figure="Ablation A1",
+        title="DPA hysteresis delta sweep (six-app scenario, reduction vs RO_RR)",
+        columns=["delta", "red_avg", "apl", "drained"],
+        rows=rows,
+        notes=[
+            f"windows: warmup={effort.warmup}, measure={effort.measure}",
+            "paper: delta in 0.1-0.3 best, ~0.2 optimal",
+        ],
+    )
+
+
+def main(argv=None) -> None:
+    """CLI: python -m repro.experiments.ablation_hysteresis [--effort fast]"""
+    args = effort_argparser(__doc__).parse_args(argv)
+    print(run(effort=parse_effort(args.effort), seed=args.seed).format_table())
+
+
+if __name__ == "__main__":
+    main()

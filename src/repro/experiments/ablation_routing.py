@@ -1,0 +1,72 @@
+"""E-A3 — ablation: RAIR across deadlock-free routing algorithms.
+
+Section IV.D claims RAIR composes with "virtually any deadlock avoidance
+or recovery routing algorithm"; the paper demonstrates two (local-adaptive
+and DBAR, Fig. 10). This ablation extends the demonstration to the full
+routing zoo in :mod:`repro.routing` — deterministic XY, the two turn
+models (West-First, Odd-Even), Duato local-adaptive, and DBAR — on the
+two-application scenario at p=100% inter-region, reporting RAIR's App0
+gain and App1 cost over RO_RR *under the same routing*.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.report import effort_argparser, parse_effort
+from repro.experiments.runner import Effort, FigureResult, Scheme, run_scenario
+from repro.experiments.scenarios import two_app_msp
+
+__all__ = ["run", "main", "ROUTINGS"]
+
+ROUTINGS = ("xy", "west_first", "odd_even", "local", "dbar")
+
+
+def run(effort: Effort = Effort.MEDIUM, seed: int = 42, routings=ROUTINGS) -> FigureResult:
+    """One row per routing algorithm; reductions are RAIR vs RO_RR."""
+    scenario = two_app_msp(1.0)
+    rows = []
+    for routing in routings:
+        base = run_scenario(
+            Scheme(f"RO_RR_{routing}", "rr", routing), scenario, effort=effort, seed=seed
+        )
+        rair = run_scenario(
+            Scheme(f"RAIR_{routing}", "rair", routing), scenario, effort=effort, seed=seed
+        )
+        rows.append(
+            {
+                "routing": routing,
+                "apl_app0_rr": base.per_app_apl[0],
+                "apl_app0_rair": rair.per_app_apl[0],
+                "red_app0": rair.reduction_vs(base, app=0),
+                "red_app1": rair.reduction_vs(base, app=1),
+                "drained": base.drained and rair.drained,
+            }
+        )
+    return FigureResult(
+        figure="Ablation A3",
+        title="RAIR gain under different deadlock-free routing algorithms "
+        "(two-app scenario, p=100%)",
+        columns=[
+            "routing",
+            "apl_app0_rr",
+            "apl_app0_rair",
+            "red_app0",
+            "red_app1",
+            "drained",
+        ],
+        rows=rows,
+        notes=[
+            f"windows: warmup={effort.warmup}, measure={effort.measure}",
+            "expected shape: red_app0 positive for every routing (Section "
+            "IV.D routing-independence claim)",
+        ],
+    )
+
+
+def main(argv=None) -> None:
+    """CLI: python -m repro.experiments.ablation_routing [--effort fast]"""
+    args = effort_argparser(__doc__).parse_args(argv)
+    print(run(effort=parse_effort(args.effort), seed=args.seed).format_table())
+
+
+if __name__ == "__main__":
+    main()

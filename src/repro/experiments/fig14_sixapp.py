@@ -1,0 +1,66 @@
+"""E-F14 — Figure 14: six concurrent applications, uniform-random global
+traffic.
+
+Fig. 13 scenario: six regions, loads 10-30% of saturation for Apps 0/2/3/4
+and 90% for Apps 1/5; per-app traffic 75% intra-region UR, 20% inter-region
+UR, 5% corner-MC. Compared schemes: RO_RR (baseline), RO_Rank, RA_DBAR,
+RA_RAIR.
+
+Paper shape: RA_RAIR best on average (−10.1% vs RO_RR), then RO_Rank
+(−5.8%), then RA_DBAR (−3.4%); RAIR's gain concentrates on the low/medium
+load applications while costing the high-load apps little.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.report import effort_argparser, parse_effort
+from repro.experiments.runner import SCHEMES, Effort, FigureResult, run_scenario
+from repro.experiments.scenarios import six_app
+
+__all__ = ["run", "main", "FIG14_SCHEMES"]
+
+FIG14_SCHEMES = ("RA_DBAR", "RO_Rank", "RA_RAIR")
+
+
+def run(
+    effort: Effort = Effort.MEDIUM,
+    seed: int = 42,
+    schemes=FIG14_SCHEMES,
+    global_pattern: str = "ur",
+) -> FigureResult:
+    """Run the six-app comparison; rows carry per-app APL reduction vs RO_RR."""
+    scenario = six_app(global_pattern=global_pattern)
+    base = run_scenario(SCHEMES["RO_RR"], scenario, effort=effort, seed=seed)
+    apps = sorted(base.per_app_apl)
+    rows = []
+    for key in schemes:
+        res = run_scenario(SCHEMES[key], scenario, effort=effort, seed=seed)
+        reductions = {f"red_app{app}": res.reduction_vs(base, app=app) for app in apps}
+        avg = sum(reductions.values()) / len(reductions)
+        rows.append(
+            {"scheme": key, **reductions, "red_avg": avg, "drained": res.drained}
+        )
+    columns = ["scheme"] + [f"red_app{a}" for a in apps] + ["red_avg", "drained"]
+    return FigureResult(
+        figure="Figure 14",
+        title=(
+            f"APL reduction vs RO_RR, six-app scenario, global pattern "
+            f"{global_pattern.upper()}"
+        ),
+        columns=columns,
+        rows=rows,
+        notes=[
+            f"windows: warmup={effort.warmup}, measure={effort.measure}",
+            "expected shape: RA_RAIR > RO_Rank > RA_DBAR on red_avg",
+        ],
+    )
+
+
+def main(argv=None) -> None:
+    """CLI: python -m repro.experiments.fig14_sixapp [--effort fast]"""
+    args = effort_argparser(__doc__).parse_args(argv)
+    print(run(effort=parse_effort(args.effort), seed=args.seed).format_table())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+"""E-F17 — Figure 17: protecting applications from adversarial traffic.
+
+Four PARSEC-like applications run in quadrants (Fig. 16). For each scheme
+the scenario runs twice — without and with a uniform chip-wide adversarial
+flood at 0.4 flits/cycle/node — and the reported value is each
+application's APL *slowdown* (APL_with / APL_without).
+
+Paper shape (average slowdowns): RO_RR 1.92 > RA_DBAR 1.75 > RO_Rank 1.47
+> RA_RAIR 1.18. RAIR wins because the flood is foreign traffic to every
+region, so DPA demotes it everywhere; STC ranks it last but batching still
+lets its older packets through; round-robin treats it as a peer.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.report import effort_argparser, parse_effort
+from repro.experiments.runner import SCHEMES, Effort, FigureResult, run_scenario
+from repro.experiments.scenarios import PARSEC_APP_ORDER, parsec_quadrants
+
+__all__ = ["run", "main", "FIG17_SCHEMES"]
+
+FIG17_SCHEMES = ("RO_RR", "RA_DBAR", "RO_Rank", "RA_RAIR")
+
+
+def run(
+    effort: Effort = Effort.MEDIUM,
+    seed: int = 42,
+    schemes=FIG17_SCHEMES,
+    adversarial_rate: float | None = None,
+) -> FigureResult:
+    """One row per scheme with per-app and average slowdowns.
+
+    ``adversarial_rate=None`` uses the calibrated equivalent of the
+    paper's 0.4 flits/cycle/node (same fraction of saturation; see
+    ``scenarios.ADVERSARIAL_PRESSURE``).
+    """
+    clean = parsec_quadrants(adversarial=False)
+    attacked = parsec_quadrants(adversarial=True, adversarial_rate=adversarial_rate)
+    adversarial_rate = attacked.meta["adversarial_rate"]
+    rows = []
+    for key in schemes:
+        base = run_scenario(SCHEMES[key], clean, effort=effort, seed=seed)
+        adv = run_scenario(SCHEMES[key], attacked, effort=effort, seed=seed)
+        slowdowns = {}
+        for app, name in enumerate(PARSEC_APP_ORDER):
+            b = base.per_app_apl.get(app)
+            a = adv.per_app_apl.get(app)
+            slowdowns[f"slow_{name[:6]}"] = (
+                a / b if (a and b) else float("nan")
+            )
+        avg = sum(slowdowns.values()) / len(slowdowns)
+        rows.append(
+            {
+                "scheme": key,
+                **slowdowns,
+                "slow_avg": avg,
+                "drained": base.drained and adv.drained,
+            }
+        )
+    columns = (
+        ["scheme"]
+        + [f"slow_{name[:6]}" for name in PARSEC_APP_ORDER]
+        + ["slow_avg", "drained"]
+    )
+    return FigureResult(
+        figure="Figure 17",
+        title=(
+            f"APL slowdown under {adversarial_rate} flits/cycle/node "
+            "adversarial flood (PARSEC-like apps)"
+        ),
+        columns=columns,
+        rows=rows,
+        notes=[
+            f"windows: warmup={effort.warmup}, measure={effort.measure}",
+            "expected shape: slow_avg RO_RR > RA_DBAR > RO_Rank > RA_RAIR",
+            "PARSEC traces are synthesized (DESIGN.md substitution #2)",
+        ],
+    )
+
+
+def main(argv=None) -> None:
+    """CLI: python -m repro.experiments.fig17_parsec [--effort fast]"""
+    args = effort_argparser(__doc__).parse_args(argv)
+    print(run(effort=parse_effort(args.effort), seed=args.seed).format_table())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,38 @@
+"""Report helpers: effort parsing and small formatting utilities shared by
+the figure CLIs."""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.experiments.runner import Effort
+
+__all__ = ["pct", "effort_argparser", "parse_effort"]
+
+
+def pct(x: float) -> str:
+    """Format a fraction as a signed percentage ('-12.8%' = 12.8% reduction)."""
+    return f"{x * 100:+.1f}%"
+
+
+def parse_effort(name: str) -> Effort:
+    """Map a CLI string to an :class:`Effort`."""
+    try:
+        return Effort[name.upper()]
+    except KeyError:
+        raise SystemExit(
+            f"unknown effort {name!r}; choose from "
+            f"{[e.name.lower() for e in Effort]}"
+        ) from None
+
+
+def effort_argparser(description: str) -> argparse.ArgumentParser:
+    """Argument parser shared by every figure CLI."""
+    parser = argparse.ArgumentParser(description=description)
+    parser.add_argument(
+        "--effort",
+        default="medium",
+        help="window scale: smoke, fast, medium (default), full (paper-size)",
+    )
+    parser.add_argument("--seed", type=int, default=42, help="master RNG seed")
+    return parser

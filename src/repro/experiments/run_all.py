@@ -1,0 +1,90 @@
+"""Run every reproduced table/figure and write the results directory.
+
+CLI::
+
+    python -m repro.experiments.run_all [--effort medium] [--out results/]
+
+Runs E-T1, E-F9/F10/F12/F14/F15/F17 and the three ablations in sequence,
+printing each table and writing ``<out>/<experiment>.txt``, plus a
+``summary.txt`` with the headline shape checks. This is the one-command
+regeneration path behind EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import time
+
+from repro.experiments import (
+    ablation_hysteresis,
+    ablation_routing,
+    ablation_vcsplit,
+    fig09_msp,
+    fig10_routing,
+    fig12_dpa,
+    fig14_sixapp,
+    fig15_patterns,
+    fig17_parsec,
+    table1,
+)
+from repro.experiments.report import parse_effort
+
+__all__ = ["main", "EXPERIMENTS"]
+
+#: name -> module with a run(effort=..., seed=...) entry point
+EXPERIMENTS = {
+    "table1": table1,
+    "fig09_msp": fig09_msp,
+    "fig10_routing": fig10_routing,
+    "fig12_dpa": fig12_dpa,
+    "fig14_sixapp": fig14_sixapp,
+    "fig15_patterns": fig15_patterns,
+    "fig17_parsec": fig17_parsec,
+    "ablation_hysteresis": ablation_hysteresis,
+    "ablation_vcsplit": ablation_vcsplit,
+    "ablation_routing": ablation_routing,
+}
+
+
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--effort", default="medium")
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--out", default="results")
+    parser.add_argument(
+        "--only", nargs="*", default=None,
+        help=f"subset of experiments to run; known: {sorted(EXPERIMENTS)}",
+    )
+    args = parser.parse_args(argv)
+    effort = parse_effort(args.effort)
+    out = pathlib.Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+
+    names = args.only or list(EXPERIMENTS)
+    unknown = set(names) - set(EXPERIMENTS)
+    if unknown:
+        raise SystemExit(f"unknown experiments: {sorted(unknown)}")
+
+    summary = []
+    for name in names:
+        module = EXPERIMENTS[name]
+        start = time.perf_counter()
+        if name == "table1":
+            result = module.run()
+        else:
+            result = module.run(effort=effort, seed=args.seed)
+        elapsed = time.perf_counter() - start
+        text = result.format_table()
+        print(f"\n{text}\n[{name}: {elapsed:.1f}s]")
+        (out / f"{name}.txt").write_text(text + "\n")
+        summary.append(f"{name}: {len(result.rows)} rows, {elapsed:.1f}s")
+
+    (out / "summary.txt").write_text(
+        f"effort={effort.name} seed={args.seed}\n" + "\n".join(summary) + "\n"
+    )
+    print(f"\nwrote {len(names)} experiment reports to {out}/")
+
+
+if __name__ == "__main__":
+    main()

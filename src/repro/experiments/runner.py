@@ -1,0 +1,205 @@
+"""Common experiment machinery: schemes, efforts, scenario runs, results.
+
+A **scheme** pairs an arbitration policy with a routing algorithm under the
+paper's name for the combination (RO_RR, RO_Rank, RA_DBAR, RA_RAIR, and
+the ablation variants of Figs. 9/10/12). A **scenario** (from
+:mod:`repro.experiments.scenarios`) supplies the region map and a traffic
+factory. :func:`run_scenario` wires one of each together, runs the
+warmup/measure/drain protocol, and returns per-application APLs.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from repro import build_simulation
+from repro.core.dpa import DpaConfig
+from repro.core.msp import Stage
+from repro.noc.config import NocConfig
+
+__all__ = [
+    "Effort",
+    "Scheme",
+    "SCHEMES",
+    "ScenarioRun",
+    "run_scenario",
+    "FigureResult",
+]
+
+
+class Effort(enum.Enum):
+    """Warmup/measure window sizes.
+
+    ``FULL`` is the paper's protocol (10K warmup + 100K measure); ``FAST``
+    and ``MEDIUM`` scale it down for CI/benchmark runs. The shape of every
+    reproduced comparison is stable across efforts (EXPERIMENTS.md records
+    which effort produced the reported numbers).
+    """
+
+    SMOKE = (200, 800)
+    FAST = (500, 2000)
+    MEDIUM = (1000, 5000)
+    FULL = (10_000, 100_000)
+
+    @property
+    def warmup(self) -> int:
+        return self.value[0]
+
+    @property
+    def measure(self) -> int:
+        return self.value[1]
+
+
+@dataclass(frozen=True)
+class Scheme:
+    """A named (arbitration policy, routing algorithm) combination."""
+
+    key: str
+    policy: str
+    routing: str
+    policy_kwargs: dict = field(default_factory=dict, compare=False)
+
+    def describe(self) -> str:
+        return f"{self.key} (policy={self.policy}, routing={self.routing})"
+
+
+def _rair_kwargs(**kw) -> dict:
+    return kw
+
+
+#: The paper's evaluated schemes, by its own names.
+SCHEMES: dict[str, Scheme] = {
+    # baselines
+    "RO_RR": Scheme("RO_RR", "rr", "local"),
+    "RO_Rank": Scheme("RO_Rank", "stc", "local"),
+    "RA_DBAR": Scheme("RA_DBAR", "rr", "dbar"),
+    "Age": Scheme("Age", "age", "local"),
+    # full RAIR
+    "RA_RAIR": Scheme("RA_RAIR", "rair", "local"),
+    # Fig. 9 MSP ablation
+    "RAIR_VA": Scheme(
+        "RAIR_VA", "rair", "local", _rair_kwargs(stages=Stage.VA)
+    ),
+    "RAIR_VA+SA": Scheme("RAIR_VA+SA", "rair", "local"),
+    # Fig. 10 routing study
+    "RO_RR_Local": Scheme("RO_RR_Local", "rr", "local"),
+    "RAIR_Local": Scheme("RAIR_Local", "rair", "local"),
+    "RO_RR_DBAR": Scheme("RO_RR_DBAR", "rr", "dbar"),
+    "RAIR_DBAR": Scheme("RAIR_DBAR", "rair", "dbar"),
+    # Fig. 12 DPA ablation
+    "RAIR_NativeH": Scheme(
+        "RAIR_NativeH", "rair", "local", _rair_kwargs(dpa=DpaConfig(mode="native"))
+    ),
+    "RAIR_ForeignH": Scheme(
+        "RAIR_ForeignH", "rair", "local", _rair_kwargs(dpa=DpaConfig(mode="foreign"))
+    ),
+    "RAIR_DPA": Scheme("RAIR_DPA", "rair", "local"),
+}
+
+
+@dataclass
+class ScenarioRun:
+    """Result of one (scheme, scenario) simulation."""
+
+    scheme: str
+    scenario: str
+    window: tuple[int, int]
+    drained: bool
+    undrained_packets: int
+    apl: float
+    per_app_apl: dict[int, float]
+    end_cycle: int
+    packets_measured: int
+
+    def reduction_vs(self, baseline: "ScenarioRun", app: int | None = None) -> float:
+        """Fractional APL reduction relative to ``baseline`` (positive = better)."""
+        mine = self.apl if app is None else self.per_app_apl[app]
+        theirs = baseline.apl if app is None else baseline.per_app_apl[app]
+        return 1.0 - mine / theirs
+
+
+def run_scenario(
+    scheme: Scheme,
+    scenario,
+    effort: Effort = Effort.MEDIUM,
+    seed: int = 42,
+    config: NocConfig | None = None,
+    policy_overrides: dict | None = None,
+) -> ScenarioRun:
+    """Simulate ``scenario`` under ``scheme`` and summarize.
+
+    ``scenario`` is a :class:`~repro.experiments.scenarios.Scenario`;
+    ``config`` overrides its network config (used by the VC-split
+    ablation); ``policy_overrides`` merge into the scheme's policy kwargs
+    (used by the hysteresis ablation).
+    """
+    cfg = config or scenario.config
+    kwargs = dict(scheme.policy_kwargs)
+    if policy_overrides:
+        kwargs.update(policy_overrides)
+    sim, net = build_simulation(
+        cfg,
+        region_map=scenario.region_map,
+        scheme=scheme.policy,
+        routing=scheme.routing,
+        policy_kwargs=kwargs,
+    )
+    for source in scenario.traffic_factory(seed):
+        sim.add_traffic(source)
+    res = sim.run_measurement(warmup=effort.warmup, measure=effort.measure)
+    stats = net.stats
+    return ScenarioRun(
+        scheme=scheme.key,
+        scenario=scenario.name,
+        window=res.window,
+        drained=res.drained,
+        undrained_packets=res.undrained_packets,
+        apl=stats.apl(window=res.window),
+        per_app_apl=stats.per_app_apl(window=res.window),
+        end_cycle=res.end_cycle,
+        packets_measured=stats.packet_count(window=res.window),
+    )
+
+
+@dataclass
+class FigureResult:
+    """A reproduced table/figure: labelled rows ready for printing."""
+
+    figure: str
+    title: str
+    columns: list[str]
+    rows: list[dict]
+    notes: list[str] = field(default_factory=list)
+
+    def format_table(self) -> str:
+        """Fixed-width text table (what the benchmark harness prints)."""
+        widths = {c: len(c) for c in self.columns}
+        rendered: list[list[str]] = []
+        for row in self.rows:
+            cells = []
+            for c in self.columns:
+                v = row.get(c, "")
+                text = f"{v:.3f}" if isinstance(v, float) else str(v)
+                widths[c] = max(widths[c], len(text))
+                cells.append(text)
+            rendered.append(cells)
+        header = "  ".join(c.ljust(widths[c]) for c in self.columns)
+        sep = "-" * len(header)
+        lines = [f"{self.figure}: {self.title}", sep, header, sep]
+        for cells in rendered:
+            lines.append(
+                "  ".join(cell.ljust(widths[c]) for cell, c in zip(cells, self.columns))
+            )
+        lines.append(sep)
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+    def row_by(self, **match) -> dict:
+        """First row whose fields equal ``match`` (KeyError if none)."""
+        for row in self.rows:
+            if all(row.get(k) == v for k, v in match.items()):
+                return row
+        raise KeyError(f"no row matching {match!r}")

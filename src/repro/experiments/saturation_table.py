@@ -1,0 +1,62 @@
+"""Calibrated saturation loads (flits/node/cycle).
+
+The paper expresses injection rates as percentages of each application's
+*saturation load*. Saturation depends on the traffic footprint (chip-wide
+vs intra-region uniform random, region size) and on the routing algorithm,
+so we calibrate empirically once per footprint with
+:mod:`repro.experiments.calibrate` (latency-knee criterion: the highest
+load whose APL stays below ``KNEE_FACTOR`` x the zero-load APL and that
+still drains) and record the results here.
+
+Values below were measured with ``python -m repro.experiments.calibrate``
+on the default :class:`~repro.noc.config.NocConfig` (8x8 mesh, 4 VCs,
+5-flit buffers, 1-cycle links) with local-adaptive (Duato) routing and
+round-robin arbitration, the common substrate of every scenario. Regions
+are the paper's three layouts (2 / 4 / 6 regions). Keys are
+``f"{pattern}_{footprint}"``.
+
+Re-run the calibration CLI after changing the simulator's timing model and
+paste its output over this table.
+"""
+
+from __future__ import annotations
+
+from repro.util.errors import ConfigError
+
+__all__ = ["SATURATION_TABLE", "saturation_load", "KNEE_FACTOR"]
+
+#: APL multiplier over zero-load APL that defines the saturation knee.
+KNEE_FACTOR = 3.0
+
+#: flits/node/cycle at the latency knee, measured 2026-07-04 with
+#: ``python -m repro.experiments.calibrate`` (bisection tolerance 0.02,
+#: probe windows 500/2500, probe ceiling 0.7) on the 4-data-VC +
+#: 1-escape-VC configuration.
+SATURATION_TABLE: dict[str, float] = {
+    # chip-wide uniform random over the 8x8 mesh
+    "ur_chip_8x8": 0.355,
+    # intra-region uniform random, one 4x8 half (Fig. 8 layout)
+    "ur_half_4x8": 0.385,
+    # intra-region uniform random, one 4x4 quadrant (Figs. 11/16)
+    "ur_quad_4x4": 0.639,
+    # intra-region uniform random, six-region grid (Fig. 13): 3x4 and 2x4
+    "ur_grid6_3x4": 0.659,
+    "ur_grid6_2x4": 0.639,
+    # Fig. 13 full per-app mix (75% intra / 20% inter / 5% MC). The knee
+    # sits higher than pure-intra because the mix's zero-load APL (and
+    # hence the knee threshold) includes the long chip-wide components;
+    # both values hit the probe ceiling.
+    "mix_grid6_3x4": 0.70,
+    "mix_grid6_2x4": 0.70,
+}
+
+
+def saturation_load(key: str) -> float:
+    """Look up a calibrated saturation load by footprint key."""
+    try:
+        return SATURATION_TABLE[key]
+    except KeyError:
+        raise ConfigError(
+            f"no calibrated saturation for {key!r}; known keys: "
+            f"{sorted(SATURATION_TABLE)} — run python -m repro.experiments.calibrate"
+        ) from None

@@ -1,0 +1,111 @@
+"""Steady-state detection for warmup sizing.
+
+The paper warms the network for 10K cycles before measuring. When scaling
+windows down (Effort levels) the right warmup depends on the operating
+point: near saturation, queues take thousands of cycles to converge, while
+light loads settle within a few hundred. This module provides a
+measurement-driven answer:
+
+* :func:`window_means` — per-window mean latency series from a stats log,
+* :func:`converged_after` — first window after which the running mean
+  stays inside a relative tolerance band (Welch-style truncation
+  heuristic),
+* :func:`suggest_warmup` — run a probe simulation and return a warmup
+  length for the scenario.
+
+Used by tests and available to experiment authors; the shipped Effort
+presets were sized with it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.errors import ConfigError
+
+__all__ = ["window_means", "converged_after", "suggest_warmup"]
+
+
+def window_means(inject_cycles, latencies, window: int) -> tuple[np.ndarray, np.ndarray]:
+    """Mean latency per consecutive injection-time window.
+
+    Returns ``(window_start_cycles, means)``; empty windows are skipped.
+    """
+    if window <= 0:
+        raise ConfigError("window must be positive")
+    inject = np.asarray(inject_cycles, dtype=np.int64)
+    lat = np.asarray(latencies, dtype=float)
+    if inject.shape != lat.shape:
+        raise ConfigError("inject_cycles and latencies must align")
+    if len(inject) == 0:
+        return np.empty(0, dtype=np.int64), np.empty(0)
+    idx = inject // window
+    order = np.argsort(idx, kind="stable")
+    idx = idx[order]
+    lat = lat[order]
+    boundaries = np.flatnonzero(np.diff(idx)) + 1
+    groups = np.split(lat, boundaries)
+    starts = np.unique(idx) * window
+    means = np.asarray([g.mean() for g in groups])
+    return starts, means
+
+
+def converged_after(means: np.ndarray, tolerance: float = 0.10, lookahead: int = 3) -> int | None:
+    """Index of the first window whose successors all stay within tolerance.
+
+    A window ``i`` is converged when every one of the next ``lookahead``
+    window means is within ``tolerance`` (relative) of the mean over all
+    windows from ``i`` on. Returns ``None`` when the series never settles.
+    """
+    if tolerance <= 0:
+        raise ConfigError("tolerance must be positive")
+    n = len(means)
+    for i in range(n - lookahead):
+        tail_mean = means[i:].mean()
+        if tail_mean <= 0:
+            continue
+        window_slice = means[i : i + lookahead + 1]
+        if np.all(np.abs(window_slice - tail_mean) <= tolerance * tail_mean):
+            return i
+    return None
+
+
+def suggest_warmup(
+    scenario,
+    scheme=None,
+    probe_cycles: int = 6000,
+    window: int = 250,
+    tolerance: float = 0.10,
+    seed: int = 7,
+) -> int:
+    """Probe a scenario and suggest a warmup length in cycles.
+
+    Runs the scenario once for ``probe_cycles`` under the given scheme
+    (default RO_RR), computes per-window latency means, and returns the
+    first converged window's start (rounded up to the window size), or
+    ``probe_cycles`` when no convergence is detected (caller should treat
+    that as "operating point too hot for this probe").
+    """
+    from repro import build_simulation
+    from repro.experiments.runner import SCHEMES
+
+    scheme = scheme or SCHEMES["RO_RR"]
+    sim, net = build_simulation(
+        scenario.config,
+        region_map=scenario.region_map,
+        scheme=scheme.policy,
+        routing=scheme.routing,
+        policy_kwargs=dict(scheme.policy_kwargs),
+    )
+    for source in scenario.traffic_factory(seed):
+        sim.add_traffic(source)
+    sim.run(probe_cycles)
+    sim.run_until_drained(10 * probe_cycles)
+    arrays = net.stats._as_arrays()
+    starts, means = window_means(
+        arrays["inject"], (arrays["eject"] - arrays["inject"]).astype(float), window
+    )
+    idx = converged_after(means, tolerance=tolerance)
+    if idx is None:
+        return probe_cycles
+    return int(starts[idx]) + window

@@ -1,0 +1,145 @@
+"""Seed-replicated sweeps with confidence intervals.
+
+Single-seed comparisons near an operating knee can flip orderings run to
+run; the paper's 100K-cycle windows average that noise away, our scaled
+windows do not. This module provides the statistical machinery the
+shorter windows need:
+
+* :func:`replicate` — run one (scheme, scenario) across seeds, returning
+  per-app APL samples,
+* :class:`SweepResult` — mean / standard error / Student-t confidence
+  intervals per metric,
+* :func:`compare_schemes` — replicate several schemes on one scenario and
+  report mean reductions vs a baseline with CIs, ready for
+  :class:`~repro.experiments.runner.FigureResult` rendering.
+
+Used by tests to quantify the noise floor quoted in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+from scipy import stats as sp_stats
+
+from repro.experiments.runner import Effort, FigureResult, Scheme, run_scenario
+from repro.util.errors import ConfigError
+
+__all__ = ["SweepResult", "replicate", "compare_schemes"]
+
+
+@dataclass
+class SweepResult:
+    """Samples of one scalar metric across replications."""
+
+    name: str
+    samples: np.ndarray
+    meta: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.samples = np.asarray(self.samples, dtype=float)
+        if self.samples.size == 0:
+            raise ConfigError(f"sweep {self.name!r} has no samples")
+
+    @property
+    def n(self) -> int:
+        return int(self.samples.size)
+
+    @property
+    def mean(self) -> float:
+        return float(self.samples.mean())
+
+    @property
+    def std_error(self) -> float:
+        if self.n < 2:
+            return float("nan")
+        return float(self.samples.std(ddof=1) / np.sqrt(self.n))
+
+    def confidence_interval(self, level: float = 0.95) -> tuple[float, float]:
+        """Student-t CI of the mean (degenerate to a point for n == 1)."""
+        if not 0 < level < 1:
+            raise ConfigError(f"confidence level must be in (0,1), got {level}")
+        if self.n < 2:
+            return (self.mean, self.mean)
+        half = self.std_error * sp_stats.t.ppf(0.5 + level / 2, df=self.n - 1)
+        return (self.mean - half, self.mean + half)
+
+    def excludes_zero(self, level: float = 0.95) -> bool:
+        """Whether the CI excludes zero (a 'significant' reduction)."""
+        lo, hi = self.confidence_interval(level)
+        return lo > 0 or hi < 0
+
+
+def replicate(
+    scheme: Scheme,
+    scenario,
+    seeds: Sequence[int],
+    effort: Effort = Effort.FAST,
+) -> dict[int, SweepResult]:
+    """Per-app APL samples across ``seeds``; key -1 holds the overall APL."""
+    if not seeds:
+        raise ConfigError("need at least one seed")
+    per_app: dict[int, list[float]] = {}
+    overall: list[float] = []
+    for seed in seeds:
+        run = run_scenario(scheme, scenario, effort=effort, seed=seed)
+        overall.append(run.apl)
+        for app, apl in run.per_app_apl.items():
+            per_app.setdefault(app, []).append(apl)
+    out = {
+        app: SweepResult(f"{scheme.key}/app{app}", vals) for app, vals in per_app.items()
+    }
+    out[-1] = SweepResult(f"{scheme.key}/overall", overall)
+    return out
+
+
+def compare_schemes(
+    scenario,
+    schemes: Sequence[Scheme],
+    baseline: Scheme,
+    seeds: Sequence[int],
+    effort: Effort = Effort.FAST,
+    level: float = 0.95,
+) -> FigureResult:
+    """Mean APL reduction vs ``baseline`` per scheme, with CIs across seeds.
+
+    Reductions are paired per seed (same traffic realization for scheme
+    and baseline), which removes most workload noise from the comparison.
+    """
+    base_runs = {
+        seed: run_scenario(baseline, scenario, effort=effort, seed=seed)
+        for seed in seeds
+    }
+    rows = []
+    for scheme in schemes:
+        reductions = []
+        for seed in seeds:
+            run = run_scenario(scheme, scenario, effort=effort, seed=seed)
+            base = base_runs[seed]
+            apps = sorted(base.per_app_apl)
+            reductions.append(
+                sum(run.reduction_vs(base, app=a) for a in apps) / len(apps)
+            )
+        sweep = SweepResult(f"{scheme.key}/reduction", reductions)
+        lo, hi = sweep.confidence_interval(level)
+        rows.append(
+            {
+                "scheme": scheme.key,
+                "red_mean": sweep.mean,
+                "ci_lo": lo,
+                "ci_hi": hi,
+                "n": sweep.n,
+                "significant": sweep.excludes_zero(level),
+            }
+        )
+    return FigureResult(
+        figure="Sweep",
+        title=(
+            f"APL reduction vs {baseline.key} on {scenario.name} "
+            f"({len(seeds)} seeds, {int(level * 100)}% CI)"
+        ),
+        columns=["scheme", "red_mean", "ci_lo", "ci_hi", "n", "significant"],
+        rows=rows,
+    )

@@ -1,0 +1,334 @@
+"""The network: routers, links, injection queues, event wiring.
+
+The :class:`Network` owns all routers plus the cross-router machinery:
+
+* scheduled flit arrivals and credit returns (dict-of-lists keyed by
+  cycle — the event volume per cycle is small and ordered delivery keeps
+  the simulation deterministic),
+* per-node injection queues with a serializing injection link (at most one
+  flit enters a router's LOCAL port per cycle, like a network interface),
+* the global congestion table ``occupancy`` (flits buffered per router)
+  consumed by DBAR's selection function,
+* the region map (``region_of`` / router ``app_id`` tags) that RAIR and
+  DBAR read,
+* statistics and ejection callbacks (the PARSEC-like traffic model hooks
+  replies onto request ejections).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.core.regions import RegionMap
+from repro.noc.config import NocConfig
+from repro.noc.router import Router
+from repro.noc.stats import NetworkStats
+from repro.noc.topology import LOCAL, OPPOSITE, MeshTopology
+from repro.util.errors import SimulationError
+
+__all__ = ["Network"]
+
+
+class Network:
+    """A mesh NoC with pluggable routing and arbitration.
+
+    Parameters
+    ----------
+    config:
+        Structural parameters (:class:`~repro.noc.config.NocConfig`).
+    routing:
+        A :class:`~repro.routing.base.RoutingAlgorithm`.
+    policy:
+        An :class:`~repro.arbitration.base.ArbitrationPolicy`.
+    region_map:
+        Optional :class:`~repro.core.regions.RegionMap`; without one, every
+        node is unassigned (app -1): all traffic is foreign everywhere and
+        DBAR's truncation sees a single region — i.e. a conventional NoC.
+    """
+
+    def __init__(
+        self,
+        config: NocConfig,
+        routing,
+        policy,
+        region_map: RegionMap | None = None,
+    ):
+        self.config = config
+        self.topology = MeshTopology(config.width, config.height)
+        self.region_map = region_map
+        if region_map is not None:
+            if (region_map.topology.width, region_map.topology.height) != (
+                config.width,
+                config.height,
+            ):
+                raise SimulationError("region map topology does not match network config")
+            self.region_of = np.asarray(region_map.node_app, dtype=np.int64)
+        else:
+            self.region_of = np.zeros(self.topology.num_nodes, dtype=np.int64)
+        self.routers = [
+            Router(n, config, self, int(region_map.node_app[n]) if region_map else -1)
+            for n in range(self.topology.num_nodes)
+        ]
+        self.routing = routing
+        self.policy = policy
+
+        # Event queues: cycle -> list of pending deliveries.
+        self._arrivals: dict[int, list] = {}
+        self._credits: dict[int, list] = {}
+        # Injection: one FIFO per (node, vnet) + a serializing link.
+        self.queues = [
+            [deque() for _ in range(config.num_vnets)] for _ in range(self.topology.num_nodes)
+        ]
+        self._inject_busy_until = [0] * self.topology.num_nodes
+        self._inj_vc_ptr = [0] * self.topology.num_nodes
+        self._pending_nodes: set[int] = set()
+
+        # Congestion table for DBAR / diagnostics: flits buffered per router.
+        self.occupancy = np.zeros(self.topology.num_nodes, dtype=np.int64)
+        # Per-(router, output port) flit counters for link-utilization
+        # reports (port 0 counts ejections into the local NI).
+        self.link_flits = np.zeros((self.topology.num_nodes, 5), dtype=np.int64)
+        # What DBAR actually sees: a quantized snapshot of the occupancy,
+        # refreshed periodically — real DBAR ships coarse congestion levels
+        # over dedicated wires with propagation delay, not exact per-cycle
+        # buffer counts (DESIGN.md substitution #4).
+        self.congestion = np.zeros(self.topology.num_nodes, dtype=np.int64)
+        self.congestion_period = 4
+        self.congestion_quantum = max(1, config.vc_depth - 1)
+        self.congestion_cap = 3  # 2-bit congestion levels
+        # Per-app offered flits (STC's intensity oracle input).
+        self.app_flits_injected: dict[int, int] = {}
+        # Per-app switch traversals (bandwidth actually consumed; the QoS
+        # policies' budget accounting input).
+        self.app_flits_delivered: dict[int, int] = {}
+
+        self.stats = NetworkStats()
+        self.eject_callbacks: list = []
+        self.flits_moved = 0
+        self.packets_in_flight = 0
+        # Measurement-window accounting (set by Simulator.run_measurement);
+        # lets the drain phase know when every window packet has retired
+        # without rescanning the ejection log.
+        self.measure_window: tuple[int, int] | None = None
+        self.window_injected = 0
+        self.window_ejected = 0
+
+        # Attach last: policies and routing algorithms may read any of the
+        # state built above (counters, topology, routers) when binding.
+        routing.attach(self)
+        policy.attach(self)
+
+    def set_measure_window(self, window: tuple[int, int]) -> None:
+        """Install the injection-cycle window whose packets must drain."""
+        self.measure_window = window
+        self.window_injected = 0
+        self.window_ejected = 0
+
+    # -- injection -------------------------------------------------------------------
+    def inject(self, pkt) -> None:
+        """Queue a packet at its source node."""
+        if not 0 <= pkt.src < self.topology.num_nodes:
+            raise SimulationError(f"{pkt!r} has invalid source")
+        if not 0 <= pkt.dst < self.topology.num_nodes:
+            raise SimulationError(f"{pkt!r} has invalid destination")
+        if pkt.length > self.config.max_packet_flits:
+            raise SimulationError(f"{pkt!r} longer than max_packet_flits")
+        if not 0 <= pkt.vnet < self.config.num_vnets:
+            raise SimulationError(f"{pkt!r} has invalid vnet")
+        self.queues[pkt.src][pkt.vnet].append(pkt)
+        self._pending_nodes.add(pkt.src)
+        self.app_flits_injected[pkt.app_id] = (
+            self.app_flits_injected.get(pkt.app_id, 0) + pkt.length
+        )
+        self.packets_in_flight += 1
+        w = self.measure_window
+        if w is not None and w[0] <= pkt.inject_cycle < w[1]:
+            self.window_injected += 1
+
+    def queued_packets(self) -> int:
+        """Packets waiting in source queues across the chip."""
+        return sum(len(q) for node in self.queues for q in node)
+
+    def place_injections(self, cycle: int) -> None:
+        """Move queued packets into idle LOCAL input VCs (1 flit/cycle link)."""
+        if not self._pending_nodes:
+            return
+        done = []
+        for node in self._pending_nodes:
+            if self._inject_busy_until[node] > cycle:
+                continue
+            router = self.routers[node]
+            queues = self.queues[node]
+            # Rotate the starting vnet so vnets share the injection link fairly.
+            nv = len(queues)
+            started = False
+            for k in range(nv):
+                vnet = (cycle + k) % nv
+                q = queues[vnet]
+                if not q:
+                    continue
+                vc = self._find_idle_local_vc(router, vnet)
+                if vc is None:
+                    continue
+                pkt = q.popleft()
+                self._deliver_flit(node, LOCAL, vc, pkt, cycle)
+                for i in range(1, pkt.length):
+                    self._push(self._arrivals, cycle + i, (node, LOCAL, vc, None))
+                self._inject_busy_until[node] = cycle + pkt.length
+                started = True
+                break
+            if not started and not any(queues):
+                done.append(node)
+        for node in done:
+            self._pending_nodes.discard(node)
+
+    def _find_idle_local_vc(self, router: Router, vnet: int) -> int | None:
+        vcs = self.config.vnet_vcs(vnet)
+        n = len(vcs)
+        start = self._inj_vc_ptr[router.node]
+        local_vcs = router.in_vcs[LOCAL]
+        for k in range(n):
+            vc = vcs[(start + k) % n]
+            if local_vcs[vc].pkt is None:
+                self._inj_vc_ptr[router.node] = (start + k + 1) % n
+                return vc
+        return None
+
+    # -- event delivery ----------------------------------------------------------------
+    @staticmethod
+    def _push(table: dict[int, list], cycle: int, item) -> None:
+        lst = table.get(cycle)
+        if lst is None:
+            table[cycle] = [item]
+        else:
+            lst.append(item)
+
+    def refresh_congestion(self, cycle: int) -> None:
+        """Update the quantized congestion snapshot DBAR reads."""
+        if cycle % self.congestion_period == 0:
+            np.minimum(
+                self.occupancy // self.congestion_quantum,
+                self.congestion_cap,
+                out=self.congestion,
+            )
+
+    def deliver_events(self, cycle: int) -> None:
+        """Apply all flit arrivals and credit returns scheduled for ``cycle``."""
+        arrivals = self._arrivals.pop(cycle, None)
+        if arrivals:
+            for node, port, vc, pkt in arrivals:
+                self._deliver_flit(node, port, vc, pkt, cycle)
+        credits = self._credits.pop(cycle, None)
+        if credits:
+            for node, port, vc in credits:
+                router = self.routers[node]
+                router.out_credits[port][vc] += 1
+                if router.out_credits[port][vc] > self.config.vc_depth:
+                    raise SimulationError(
+                        f"credit overflow at node {node} port {port} vc {vc}"
+                    )
+
+    def _deliver_flit(self, node: int, port: int, vc: int, pkt, cycle: int) -> None:
+        router = self.routers[node]
+        invc = router.in_vcs[port][vc]
+        if pkt is not None:
+            native = router.app_id >= 0 and pkt.app_id == router.app_id
+            invc.head_arrive(pkt, cycle, native)
+            router.busy_vcs += 1
+            if native:
+                router.ovc_n += 1
+            else:
+                router.ovc_f += 1
+        else:
+            invc.body_arrive(cycle)
+        self.occupancy[node] += 1
+
+    # -- flit transmission (called by routers' SA stage) ---------------------------------
+    def send_flit(self, router: Router, invc, cycle: int) -> None:
+        """One flit of ``invc`` traverses the switch and leaves ``router``."""
+        pkt = invc.pkt
+        out_port = invc.out_port
+        out_vc = invc.out_vc
+        in_port = invc.port
+        in_vc = invc.vc
+        native = invc.is_native
+        is_head = invc.flits_sent == 0
+        is_tail = invc.send_flit(cycle)
+        node = router.node
+        self.occupancy[node] -= 1
+        self.flits_moved += 1
+        self.link_flits[node, out_port] += 1
+        self.app_flits_delivered[pkt.app_id] = (
+            self.app_flits_delivered.get(pkt.app_id, 0) + 1
+        )
+
+        # Free one buffer slot -> credit back to the upstream router.
+        if in_port != LOCAL:
+            upstream = self.topology.neighbor[node][in_port]
+            self._push(
+                self._credits,
+                cycle + self.config.credit_latency,
+                (upstream, OPPOSITE[in_port], in_vc),
+            )
+
+        if is_tail:
+            router.out_owner[out_port][out_vc] = None
+            router.busy_vcs -= 1
+            if native:
+                router.ovc_n -= 1
+            else:
+                router.ovc_f -= 1
+
+        if out_port == LOCAL:
+            if is_tail:
+                eject_cycle = cycle + 1  # link traversal into the NI
+                self.stats.record_ejection(pkt, eject_cycle)
+                self.packets_in_flight -= 1
+                w = self.measure_window
+                if w is not None and w[0] <= pkt.inject_cycle < w[1]:
+                    self.window_ejected += 1
+                for cb in self.eject_callbacks:
+                    cb(pkt, eject_cycle)
+        else:
+            credits = router.out_credits[out_port]
+            credits[out_vc] -= 1
+            if credits[out_vc] < 0:
+                raise SimulationError(
+                    f"negative credits at node {node} port {out_port} vc {out_vc}"
+                )
+            dst = self.topology.neighbor[node][out_port]
+            if is_head:
+                pkt.hops += 1
+            self._push(
+                self._arrivals,
+                cycle + self.config.link_latency,
+                (dst, OPPOSITE[out_port], out_vc, pkt if is_head else None),
+            )
+
+    # -- queries --------------------------------------------------------------------------
+    def busy_routers(self):
+        """Routers currently holding at least one packet."""
+        return [r for r in self.routers if r.busy_vcs]
+
+    def has_pending_events(self) -> bool:
+        """Whether any arrivals or credits are still scheduled."""
+        return bool(self._arrivals) or bool(self._credits)
+
+    def idle(self) -> bool:
+        """True when nothing is queued, buffered, or in flight.
+
+        Pending credit returns count as activity: stopping before they
+        deliver would leave upstream credit counters permanently low.
+        """
+        return (
+            self.packets_in_flight == 0
+            and not self._pending_nodes
+            and not self._arrivals
+            and not self._credits
+        )
+
+    def total_buffered_flits(self) -> int:
+        """Flits buffered across the whole chip (cross-check vs occupancy)."""
+        return int(self.occupancy.sum())

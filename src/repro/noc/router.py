@@ -1,0 +1,205 @@
+"""Canonical pipelined virtual-channel router.
+
+Pipeline model (per flit, under no contention)::
+
+    cycle t   : link arrival + buffer write (+ routing computation)
+    cycle t+1 : VC allocation   (VA_in then VA_out)
+    cycle t+2 : switch allocation (SA_in then SA_out) + switch traversal
+    cycle t+2+L: arrival at the next router after L link cycles
+
+i.e. a 3-stage router plus link — the canonical RC/VA/SA/ST/LT pipeline
+with RC folded into the buffer-write cycle and ST into the SA-winner's
+cycle, the usual lookahead/speculation-free compression. All contention
+points the paper's MSP mechanism targets (VA_out, SA_in, SA_out) are
+modelled as explicit per-cycle arbitrations through the installed
+:class:`~repro.arbitration.base.ArbitrationPolicy`.
+
+Per-router RAIR state lives here so the policy hot path is field access:
+``app_id`` (from the region map), the DPA occupied-VC counters ``ovc_n`` /
+``ovc_f`` (updated on head arrival and tail departure — the "status of all
+VCs in a router" rule of Section IV.C), and the DPA output bit
+``native_high`` (written by the policy's end-of-cycle hook, read by the
+next cycle's arbitrations).
+"""
+
+from __future__ import annotations
+
+from repro.noc.buffers import VC_ACTIVE, VC_VA, InputVC
+from repro.noc.config import NocConfig
+from repro.noc.topology import LOCAL, NUM_PORTS
+
+__all__ = ["Router"]
+
+
+class Router:
+    """One mesh router; all state is local except the network backref."""
+
+    __slots__ = (
+        "node",
+        "config",
+        "network",
+        "num_ports",
+        "total_vcs",
+        "app_id",
+        "in_vcs",
+        "out_owner",
+        "out_credits",
+        "va_ptr",
+        "sa_in_ptr",
+        "sa_out_ptr",
+        "va_req_ptr",
+        "busy_vcs",
+        "ovc_n",
+        "ovc_f",
+        "native_high",
+    )
+
+    def __init__(self, node: int, config: NocConfig, network, app_id: int):
+        self.node = node
+        self.config = config
+        self.network = network
+        self.num_ports = NUM_PORTS
+        self.total_vcs = config.total_vcs
+        self.app_id = app_id
+        self.in_vcs = [
+            [
+                InputVC(
+                    node,
+                    port,
+                    vc,
+                    config.vc_vnet(vc),
+                    config.vc_class(vc),
+                    config.is_escape_vc(vc),
+                )
+                for vc in range(self.total_vcs)
+            ]
+            for port in range(NUM_PORTS)
+        ]
+        self.out_owner = [[None] * self.total_vcs for _ in range(NUM_PORTS)]
+        self.out_credits = [[config.vc_depth] * self.total_vcs for _ in range(NUM_PORTS)]
+        self.va_ptr = [[0] * self.total_vcs for _ in range(NUM_PORTS)]
+        self.sa_in_ptr = [0] * NUM_PORTS
+        self.sa_out_ptr = [0] * NUM_PORTS
+        self.va_req_ptr = [0] * NUM_PORTS
+        self.busy_vcs = 0
+        # DPA state (paper Section IV.C); policies may ignore it.
+        self.ovc_n = 0
+        self.ovc_f = 0
+        self.native_high = False
+
+    # -- VC allocation ------------------------------------------------------------
+    def do_va(self, cycle: int) -> None:
+        """Run VA_in (request selection) and VA_out (grant) for this cycle."""
+        requests: dict[tuple[int, int], list[InputVC]] | None = None
+        network = self.network
+        routing = network.routing
+        policy = network.policy
+        config = self.config
+        node = self.node
+        for port_vcs in self.in_vcs:
+            for invc in port_vcs:
+                if invc.state != VC_VA or cycle < invc.va_ready:
+                    continue
+                pkt = invc.pkt
+                ports = invc.route_ports
+                if ports is None:
+                    ports = routing.admissible_ports(node, pkt)
+                    invc.route_ports = ports
+                ranked = routing.rank_ports(node, pkt, ports) if len(ports) > 1 else ports
+                vnet_vcs = config.vnet_vcs(pkt.vnet)
+                first_data_vc = vnet_vcs.start + config.escape_vcs
+                depth = config.vc_depth
+                options: list[tuple[int, int]] = []
+                for p in ranked:
+                    owner_p = self.out_owner[p]
+                    if p == LOCAL:
+                        # Ejection: the escape restriction is moot, any VC
+                        # of the vnet may be requested.
+                        for vc in vnet_vcs:
+                            if owner_p[vc] is None:
+                                options.append((p, vc))
+                    else:
+                        # Atomic VCs (Table 1): a downstream VC may only be
+                        # reallocated once it has fully drained — owner
+                        # released *and* all credits back (no flit of the
+                        # previous packet buffered or in flight).
+                        credits_p = self.out_credits[p]
+                        for vc in range(first_data_vc, vnet_vcs.stop):
+                            if owner_p[vc] is None and credits_p[vc] == depth:
+                                options.append((p, vc))
+                        # Escape VCs are only admissible on the
+                        # dimension-order port (Duato deadlock freedom) and
+                        # are tried after the adaptive VCs of their port.
+                        if p == routing.escape_port(node, pkt):
+                            for vc in range(vnet_vcs.start, first_data_vc):
+                                if owner_p[vc] is None and credits_p[vc] == depth:
+                                    options.append((p, vc))
+                if not options:
+                    continue
+                req = policy.choose_request(self, invc, options)
+                if requests is None:
+                    requests = {}
+                requests.setdefault(req, []).append(invc)
+        if requests:
+            for (p, vc), contenders in requests.items():
+                if len(contenders) == 1:
+                    winner = contenders[0]
+                else:
+                    winner = policy.va_out_pick(self, p, vc, contenders)
+                self.out_owner[p][vc] = winner
+                winner.grant_vc(p, vc, cycle)
+
+    # -- switch allocation -----------------------------------------------------------
+    def do_sa(self, cycle: int) -> None:
+        """Run SA_in and SA_out; winners traverse the switch this cycle."""
+        network = self.network
+        policy = network.policy
+        sa_out: dict[int, list[InputVC]] | None = None
+        for in_port, port_vcs in enumerate(self.in_vcs):
+            cands: list[InputVC] | None = None
+            for invc in port_vcs:
+                if (
+                    invc.state == VC_ACTIVE
+                    and invc.arrivals
+                    and invc.arrivals[0] < cycle
+                    and cycle >= invc.sa_ready
+                ):
+                    op = invc.out_port
+                    if op == LOCAL or self.out_credits[op][invc.out_vc] > 0:
+                        if cands is None:
+                            cands = [invc]
+                        else:
+                            cands.append(invc)
+            if cands is None:
+                continue
+            winner = cands[0] if len(cands) == 1 else policy.sa_in_pick(self, in_port, cands)
+            if sa_out is None:
+                sa_out = {}
+            sa_out.setdefault(winner.out_port, []).append(winner)
+        if sa_out:
+            for out_port, contenders in sa_out.items():
+                if len(contenders) == 1:
+                    winner = contenders[0]
+                else:
+                    winner = policy.sa_out_pick(self, out_port, contenders)
+                network.send_flit(self, winner, cycle)
+
+    # -- introspection --------------------------------------------------------------
+    def buffered_flits(self) -> int:
+        """Total flits currently buffered across all input VCs."""
+        return sum(invc.occupancy() for port in self.in_vcs for invc in port)
+
+    def occupied_vcs(self) -> tuple[int, int]:
+        """Recount (native, foreign) occupied VCs from scratch (for checks)."""
+        n = f = 0
+        for port in self.in_vcs:
+            for invc in port:
+                if invc.pkt is not None:
+                    if invc.is_native:
+                        n += 1
+                    else:
+                        f += 1
+        return n, f
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Router(node={self.node}, app={self.app_id}, busy={self.busy_vcs})"

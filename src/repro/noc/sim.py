@@ -1,0 +1,141 @@
+"""Simulation driver: the per-cycle phase loop plus measurement protocol.
+
+Phase order within a cycle (fixed, network-wide, so results are exactly
+reproducible):
+
+1. deliver scheduled flit arrivals and credit returns,
+2. traffic sources generate packets (into source queues),
+3. queued packets enter idle LOCAL input VCs (injection link),
+4. VC allocation at every busy router,
+5. switch allocation + traversal at every busy router,
+6. policy end-of-cycle hooks (DPA update per router, STC ranking
+   network-wide).
+
+The paper's measurement protocol (Section V.A) is implemented by
+:meth:`Simulator.run_measurement`: warm up for ``warmup`` cycles, tag the
+next ``measure`` cycles as the measurement window, keep simulating (with
+traffic still flowing) until every packet injected inside the window has
+ejected — bounded by ``drain_limit`` — and report statistics for window
+packets only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.noc.network import Network
+from repro.util.errors import SimulationError
+
+__all__ = ["Simulator", "MeasurementResult"]
+
+
+@dataclass
+class MeasurementResult:
+    """Outcome of one warmup/measure/drain run."""
+
+    warmup: int
+    measure: int
+    window: tuple[int, int]
+    end_cycle: int
+    drained: bool
+    #: packets injected in the window that never ejected before drain_limit
+    undrained_packets: int
+
+
+class Simulator:
+    """Drives a :class:`~repro.noc.network.Network` cycle by cycle."""
+
+    #: cycles without any flit movement (while flits are buffered) that
+    #: trigger the deadlock/livelock watchdog
+    WATCHDOG_CYCLES = 5000
+
+    def __init__(self, network: Network, traffic_sources=()):
+        self.network = network
+        self.traffic_sources = list(traffic_sources)
+        self.cycle = 0
+        self._last_moved = 0
+        self._last_progress_cycle = 0
+
+    def add_traffic(self, source) -> None:
+        """Register a traffic source (object with ``tick(cycle, network)``)."""
+        self.traffic_sources.append(source)
+
+    # -- core loop -----------------------------------------------------------------
+    def step(self) -> None:
+        """Advance the simulation by one cycle."""
+        net = self.network
+        cycle = self.cycle
+        net.refresh_congestion(cycle)
+        net.deliver_events(cycle)
+        for source in self.traffic_sources:
+            source.tick(cycle, net)
+        net.place_injections(cycle)
+        routers = net.routers
+        policy = net.policy
+        for router in routers:
+            if router.busy_vcs:
+                router.do_va(cycle)
+        for router in routers:
+            if router.busy_vcs:
+                router.do_sa(cycle)
+        for router in routers:
+            if router.busy_vcs:
+                policy.end_router_cycle(router, cycle)
+        policy.end_network_cycle(net, cycle)
+        self._watchdog(cycle)
+        self.cycle = cycle + 1
+
+    def run(self, cycles: int) -> None:
+        """Run ``cycles`` additional cycles."""
+        for _ in range(cycles):
+            self.step()
+
+    def run_until_drained(self, limit: int) -> bool:
+        """Step until the network is idle; returns False if ``limit`` hit."""
+        for _ in range(limit):
+            if self.network.idle():
+                return True
+            self.step()
+        return self.network.idle()
+
+    def _watchdog(self, cycle: int) -> None:
+        net = self.network
+        moved = net.flits_moved
+        if moved != self._last_moved or not net.occupancy.any():
+            self._last_moved = moved
+            self._last_progress_cycle = cycle
+            return
+        if cycle - self._last_progress_cycle >= self.WATCHDOG_CYCLES:
+            stuck = [(r.node, r.busy_vcs) for r in net.busy_routers()][:10]
+            raise SimulationError(
+                f"no flit moved for {self.WATCHDOG_CYCLES} cycles at cycle "
+                f"{cycle} with {net.total_buffered_flits()} flits buffered; "
+                f"busy routers (node, busy_vcs): {stuck}"
+            )
+
+    # -- measurement protocol ----------------------------------------------------------
+    def run_measurement(
+        self,
+        warmup: int,
+        measure: int,
+        drain_limit: int | None = None,
+    ) -> MeasurementResult:
+        """Warm up, measure, and drain (paper Section V.A protocol)."""
+        if drain_limit is None:
+            drain_limit = 10 * (warmup + measure) + 20_000
+        net = self.network
+        window = (self.cycle + warmup, self.cycle + warmup + measure)
+        net.set_measure_window(window)
+        self.run(warmup + measure)
+        deadline = self.cycle + drain_limit
+        while self.cycle < deadline and net.window_ejected < net.window_injected:
+            self.step()
+        undrained = net.window_injected - net.window_ejected
+        return MeasurementResult(
+            warmup=warmup,
+            measure=measure,
+            window=window,
+            end_cycle=self.cycle,
+            drained=undrained == 0,
+            undrained_packets=max(0, undrained),
+        )

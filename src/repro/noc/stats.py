@@ -1,0 +1,177 @@
+"""Statistics collection and analysis.
+
+:class:`NetworkStats` records one row per *ejected* packet in plain Python
+lists (cheap appends in the hot loop) and converts to NumPy arrays lazily
+for analysis — the split the HPC guides recommend: pure-Python where the
+work is per-event bookkeeping, vectorized NumPy where the work is
+aggregate math.
+
+The analysis API mirrors what the paper reports: average packet latency
+(APL) per application over a measurement window, slowdowns between runs,
+and reductions relative to a baseline scheme.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["NetworkStats", "LatencyStats"]
+
+
+@dataclass(frozen=True)
+class LatencyStats:
+    """Summary of one latency sample set."""
+
+    count: int
+    mean: float
+    median: float
+    p95: float
+    p99: float
+    max: float
+
+    @classmethod
+    def from_samples(cls, samples: np.ndarray) -> "LatencyStats":
+        """Summarize an array of latencies; empty input gives NaN fields."""
+        if len(samples) == 0:
+            nan = float("nan")
+            return cls(0, nan, nan, nan, nan, nan)
+        return cls(
+            count=int(len(samples)),
+            mean=float(np.mean(samples)),
+            median=float(np.median(samples)),
+            p95=float(np.percentile(samples, 95)),
+            p99=float(np.percentile(samples, 99)),
+            max=float(np.max(samples)),
+        )
+
+
+class NetworkStats:
+    """Per-packet ejection log plus running counters."""
+
+    def __init__(self) -> None:
+        self._inject: list[int] = []
+        self._eject: list[int] = []
+        self._app: list[int] = []
+        self._src: list[int] = []
+        self._dst: list[int] = []
+        self._length: list[int] = []
+        self._hops: list[int] = []
+        self._is_global: list[bool] = []
+        self._is_adversarial: list[bool] = []
+        self.flits_moved = 0
+        self.packets_ejected = 0
+        self._arrays: dict | None = None
+
+    # -- recording (hot path) ----------------------------------------------------
+    def record_ejection(self, pkt, eject_cycle: int) -> None:
+        """Log a fully ejected packet."""
+        self._inject.append(pkt.inject_cycle)
+        self._eject.append(eject_cycle)
+        self._app.append(pkt.app_id)
+        self._src.append(pkt.src)
+        self._dst.append(pkt.dst)
+        self._length.append(pkt.length)
+        self._hops.append(pkt.hops)
+        self._is_global.append(pkt.is_global)
+        self._is_adversarial.append(pkt.is_adversarial)
+        self.packets_ejected += 1
+        self._arrays = None
+
+    # -- analysis ------------------------------------------------------------------
+    def _as_arrays(self) -> dict:
+        if self._arrays is None:
+            self._arrays = {
+                "inject": np.asarray(self._inject, dtype=np.int64),
+                "eject": np.asarray(self._eject, dtype=np.int64),
+                "app": np.asarray(self._app, dtype=np.int64),
+                "src": np.asarray(self._src, dtype=np.int64),
+                "dst": np.asarray(self._dst, dtype=np.int64),
+                "length": np.asarray(self._length, dtype=np.int64),
+                "hops": np.asarray(self._hops, dtype=np.int64),
+                "is_global": np.asarray(self._is_global, dtype=bool),
+                "is_adversarial": np.asarray(self._is_adversarial, dtype=bool),
+            }
+        return self._arrays
+
+    def _mask(
+        self,
+        app: int | None,
+        window: tuple[int, int] | None,
+        include_adversarial: bool,
+        only_global: bool | None,
+    ) -> np.ndarray:
+        a = self._as_arrays()
+        mask = np.ones(len(a["inject"]), dtype=bool)
+        if app is not None:
+            mask &= a["app"] == app
+        if window is not None:
+            t0, t1 = window
+            mask &= (a["inject"] >= t0) & (a["inject"] < t1)
+        if not include_adversarial:
+            mask &= ~a["is_adversarial"]
+        if only_global is not None:
+            mask &= a["is_global"] == only_global
+        return mask
+
+    def latencies(
+        self,
+        app: int | None = None,
+        window: tuple[int, int] | None = None,
+        include_adversarial: bool = False,
+        only_global: bool | None = None,
+    ) -> np.ndarray:
+        """Packet latencies (eject - inject) matching the filters.
+
+        ``window`` filters on *injection* cycle — the paper's measurement
+        protocol (measure packets injected during the measurement window,
+        then drain).
+        """
+        a = self._as_arrays()
+        mask = self._mask(app, window, include_adversarial, only_global)
+        return (a["eject"] - a["inject"])[mask]
+
+    def apl(self, **kw) -> float:
+        """Average packet latency over the filtered set (NaN if empty)."""
+        lat = self.latencies(**kw)
+        return float(np.mean(lat)) if len(lat) else float("nan")
+
+    def summary(self, **kw) -> LatencyStats:
+        """Latency summary over the filtered set."""
+        return LatencyStats.from_samples(self.latencies(**kw))
+
+    def packet_count(self, **kw) -> int:
+        """Number of ejected packets matching the filters."""
+        return int(self._mask(
+            kw.get("app"), kw.get("window"), kw.get("include_adversarial", False),
+            kw.get("only_global"),
+        ).sum())
+
+    def throughput_flits(self, window: tuple[int, int], app: int | None = None) -> float:
+        """Accepted flits per cycle over an *ejection*-cycle window."""
+        a = self._as_arrays()
+        t0, t1 = window
+        mask = (a["eject"] >= t0) & (a["eject"] < t1)
+        if app is not None:
+            mask &= a["app"] == app
+        return float(a["length"][mask].sum()) / max(1, t1 - t0)
+
+    def apps(self) -> list[int]:
+        """Distinct application ids seen in the ejection log."""
+        a = self._as_arrays()
+        return sorted(int(x) for x in np.unique(a["app"]))
+
+    def per_app_apl(self, window: tuple[int, int] | None = None) -> dict[int, float]:
+        """APL per application (adversarial traffic excluded)."""
+        return {app: self.apl(app=app, window=window) for app in self.apps() if app >= 0}
+
+    def mean_hops(self, **kw) -> float:
+        """Mean traversed hop count over the filtered packets."""
+        a = self._as_arrays()
+        mask = self._mask(
+            kw.get("app"), kw.get("window"), kw.get("include_adversarial", False),
+            kw.get("only_global"),
+        )
+        hops = a["hops"][mask]
+        return float(hops.mean()) if len(hops) else float("nan")

@@ -1,0 +1,60 @@
+"""Analytic timing model of the router pipeline.
+
+The simulator's canonical pipeline costs, under zero load:
+
+* 3 cycles per router traversal — buffer write (+RC), VA, SA(+ST),
+* 1 link cycle after each traversal (mesh link or ejection NI link),
+* 1 cycle per additional flit (wormhole serialization behind the head).
+
+These helpers give tests and calibration code an authoritative closed
+form to pin the simulator against (see
+``tests/integration/test_network_basics.py``); any change to the pipeline
+must update this module and the paper-shape benchmarks together.
+"""
+
+from __future__ import annotations
+
+from repro.noc.config import NocConfig
+from repro.util.errors import ConfigError
+
+__all__ = ["ROUTER_CYCLES", "zero_load_latency", "mean_ur_hops"]
+
+#: cycles a head flit spends in each router under no contention
+ROUTER_CYCLES = 3
+
+
+def zero_load_latency(hops: int, length: int, config: NocConfig | None = None) -> int:
+    """Exact zero-load packet latency over ``hops`` mesh hops.
+
+    ``hops`` is the Manhattan distance (0 for self-addressed packets);
+    ``length`` the packet's flit count. ``config`` supplies the link
+    latency (default 1).
+    """
+    if hops < 0:
+        raise ConfigError(f"hops must be >= 0, got {hops}")
+    if length < 1:
+        raise ConfigError(f"length must be >= 1, got {length}")
+    link = config.link_latency if config is not None else 1
+    # hops+1 router traversals; each mesh hop costs one link cycle, and the
+    # final NI ejection link costs one more — with link_latency L the mesh
+    # hops cost L each while the NI link stays 1 cycle.
+    return (hops + 1) * ROUTER_CYCLES + hops * (link - 1) + (length - 1)
+
+
+def mean_ur_hops(width: int, height: int) -> float:
+    """Mean Manhattan distance for uniform-random traffic (src != dst).
+
+    Exact enumeration; used to sanity-check measured zero-load APLs.
+    """
+    if width < 1 or height < 1:
+        raise ConfigError("mesh dimensions must be positive")
+    n = width * height
+    if n < 2:
+        raise ConfigError("need at least two nodes")
+
+    def dim_sum(extent: int) -> int:
+        # sum over all ordered pairs (a, b) of |a - b|
+        return sum(abs(a - b) for a in range(extent) for b in range(extent))
+
+    total = dim_sum(width) * height * height + dim_sum(height) * width * width
+    return total / (n * (n - 1))

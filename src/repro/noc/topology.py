@@ -1,0 +1,152 @@
+"""2-D mesh topology: node numbering, ports, neighbour arithmetic.
+
+Nodes are numbered row-major: node ``n`` sits at coordinates
+``(x, y) = (n % width, n // width)`` with ``x`` increasing eastward and
+``y`` increasing southward. Each router has five ports; port 0 (``LOCAL``)
+connects the attached core/network interface, ports 1-4 connect mesh
+neighbours.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.util.validate import require
+
+__all__ = [
+    "LOCAL",
+    "NORTH",
+    "EAST",
+    "SOUTH",
+    "WEST",
+    "NUM_PORTS",
+    "PORT_NAMES",
+    "OPPOSITE",
+    "MeshTopology",
+]
+
+LOCAL = 0
+NORTH = 1
+EAST = 2
+SOUTH = 3
+WEST = 4
+NUM_PORTS = 5
+PORT_NAMES = ("local", "north", "east", "south", "west")
+# OPPOSITE[p] is the input port on the neighbour that a flit leaving through
+# output port p arrives on (flits leaving eastward arrive on the west port).
+OPPOSITE = (LOCAL, SOUTH, WEST, NORTH, EAST)
+
+_DELTAS = {NORTH: (0, -1), EAST: (1, 0), SOUTH: (0, 1), WEST: (-1, 0)}
+
+
+class MeshTopology:
+    """Geometry of a ``width`` x ``height`` mesh.
+
+    Pure arithmetic — holds no simulation state. Precomputes the neighbour
+    table so the router hot loop never does coordinate math.
+    """
+
+    def __init__(self, width: int, height: int):
+        require(width >= 2 and height >= 2, f"mesh must be at least 2x2, got {width}x{height}")
+        self.width = width
+        self.height = height
+        self.num_nodes = width * height
+        # neighbor[node][port] -> neighbour node id, or -1 at the mesh edge.
+        self.neighbor: list[tuple[int, ...]] = []
+        for node in range(self.num_nodes):
+            x, y = node % width, node // width
+            row = [-1] * NUM_PORTS
+            for port, (dx, dy) in _DELTAS.items():
+                nx_, ny_ = x + dx, y + dy
+                if 0 <= nx_ < width and 0 <= ny_ < height:
+                    row[port] = ny_ * width + nx_
+            self.neighbor.append(tuple(row))
+
+    # -- coordinate helpers -------------------------------------------------
+    def coords(self, node: int) -> tuple[int, int]:
+        """Return ``(x, y)`` of ``node``."""
+        return node % self.width, node // self.width
+
+    def node_at(self, x: int, y: int) -> int:
+        """Return the node id at ``(x, y)``."""
+        require(0 <= x < self.width and 0 <= y < self.height, f"({x},{y}) outside mesh")
+        return y * self.width + x
+
+    def hop_distance(self, src: int, dst: int) -> int:
+        """Manhattan hop count between two nodes."""
+        sx, sy = self.coords(src)
+        dx, dy = self.coords(dst)
+        return abs(sx - dx) + abs(sy - dy)
+
+    def minimal_ports(self, node: int, dst: int) -> tuple[int, ...]:
+        """Output ports on minimal paths from ``node`` to ``dst``.
+
+        Returns ``(LOCAL,)`` when ``node == dst``. For distinct nodes the
+        result has one or two entries (one per productive dimension).
+        """
+        if node == dst:
+            return (LOCAL,)
+        x, y = self.coords(node)
+        dx, dy = self.coords(dst)
+        ports = []
+        if dx > x:
+            ports.append(EAST)
+        elif dx < x:
+            ports.append(WEST)
+        if dy > y:
+            ports.append(SOUTH)
+        elif dy < y:
+            ports.append(NORTH)
+        return tuple(ports)
+
+    def xy_port(self, node: int, dst: int) -> int:
+        """The dimension-order (X-then-Y) output port from ``node`` to ``dst``."""
+        if node == dst:
+            return LOCAL
+        x, y = self.coords(node)
+        dx, dy = self.coords(dst)
+        if dx > x:
+            return EAST
+        if dx < x:
+            return WEST
+        return SOUTH if dy > y else NORTH
+
+    def path_nodes(self, node: int, port: int, stop: int) -> list[int]:
+        """Nodes reached by repeatedly stepping through ``port`` from ``node``.
+
+        Walks in the fixed direction ``port`` (a mesh direction, not LOCAL)
+        and collects nodes until ``stop`` steps have been taken or the mesh
+        edge is hit. Used by the DBAR selection function to enumerate the
+        routers whose congestion feeds a path estimate.
+        """
+        out: list[int] = []
+        cur = node
+        for _ in range(stop):
+            cur = self.neighbor[cur][port]
+            if cur < 0:
+                break
+            out.append(cur)
+        return out
+
+    def corner_nodes(self) -> tuple[int, int, int, int]:
+        """The four corner nodes (used as memory-controller sites)."""
+        return (
+            self.node_at(0, 0),
+            self.node_at(self.width - 1, 0),
+            self.node_at(0, self.height - 1),
+            self.node_at(self.width - 1, self.height - 1),
+        )
+
+    def to_networkx(self) -> nx.Graph:
+        """Export the mesh as a :class:`networkx.Graph` (for analysis/tests)."""
+        g = nx.Graph()
+        g.add_nodes_from(range(self.num_nodes))
+        for node in range(self.num_nodes):
+            for port in (EAST, SOUTH):
+                nbr = self.neighbor[node][port]
+                if nbr >= 0:
+                    g.add_edge(node, nbr)
+        return g
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"MeshTopology({self.width}x{self.height})"

@@ -1,0 +1,54 @@
+"""Routing algorithms for the mesh NoC.
+
+All evaluated schemes run one of three routing algorithms:
+
+* :class:`~repro.routing.xy.XYRouting` — deterministic dimension-order
+  routing (the deadlock-free escape function),
+* :class:`~repro.routing.duato.DuatoAdaptiveRouting` — minimal fully
+  adaptive routing made deadlock-free by Duato's theory (escape VC per
+  virtual network restricted to XY), with a locally informed selection
+  function (free downstream credits),
+* :class:`~repro.routing.dbar.DbarRouting` — the same adaptive skeleton
+  with DBAR's region-truncated path-congestion selection function
+  (Ma et al., ISCA 2011), the routing half of the paper's RA_DBAR
+  comparison point.
+"""
+
+from repro.routing.base import RoutingAlgorithm
+from repro.routing.dbar import DbarRouting
+from repro.routing.duato import DuatoAdaptiveRouting
+from repro.routing.selection import credit_rank, dbar_rank
+from repro.routing.turn_model import OddEvenRouting, WestFirstRouting
+from repro.routing.xy import XYRouting
+
+__all__ = [
+    "RoutingAlgorithm",
+    "XYRouting",
+    "DuatoAdaptiveRouting",
+    "DbarRouting",
+    "WestFirstRouting",
+    "OddEvenRouting",
+    "credit_rank",
+    "dbar_rank",
+    "make_routing",
+]
+
+_REGISTRY = {
+    "xy": XYRouting,
+    "duato": DuatoAdaptiveRouting,
+    "local": DuatoAdaptiveRouting,
+    "dbar": DbarRouting,
+    "west_first": WestFirstRouting,
+    "wf": WestFirstRouting,
+    "odd_even": OddEvenRouting,
+    "oe": OddEvenRouting,
+}
+
+
+def make_routing(name: str, **kwargs) -> RoutingAlgorithm:
+    """Construct a routing algorithm by name (``xy``/``local``/``dbar``)."""
+    try:
+        cls = _REGISTRY[name.lower()]
+    except KeyError:
+        raise ValueError(f"unknown routing algorithm {name!r}; known: {sorted(_REGISTRY)}") from None
+    return cls(**kwargs)

@@ -1,0 +1,48 @@
+"""Routing-algorithm interface.
+
+A routing algorithm answers two questions for a head flit sitting at a
+router:
+
+1. *Admissible output ports* — which directions keep the packet on a
+   permitted path (minimal, for all algorithms in this package).
+2. *Port ranking* (the selection function) — in which order should
+   admissible ports be tried, given current congestion knowledge.
+
+Deadlock freedom follows Duato's theory: VC 0 of each virtual network is an
+escape channel on which only the dimension-order (XY) direction may be
+requested; all other VCs are unrestricted among admissible ports. The
+escape network alone is XY on a mesh, which is deadlock-free, and a blocked
+packet can always eventually request the escape VC, so the full network is
+deadlock-free regardless of the adaptive selection used.
+"""
+
+from __future__ import annotations
+
+__all__ = ["RoutingAlgorithm"]
+
+
+class RoutingAlgorithm:
+    """Base class; concrete algorithms override the three query methods."""
+
+    #: short name used in experiment reports
+    name = "base"
+
+    def __init__(self) -> None:
+        self.network = None
+
+    def attach(self, network) -> None:
+        """Bind to a network (gives access to topology and congestion state)."""
+        self.network = network
+
+    # -- queries ---------------------------------------------------------
+    def admissible_ports(self, node: int, pkt) -> tuple[int, ...]:
+        """Output ports the packet may take from ``node`` (never empty)."""
+        raise NotImplementedError
+
+    def escape_port(self, node: int, pkt) -> int:
+        """The single port on which the escape VC may be requested."""
+        return self.network.topology.xy_port(node, pkt.dst)
+
+    def rank_ports(self, node: int, pkt, ports: tuple[int, ...]) -> tuple[int, ...]:
+        """Order ``ports`` from most to least preferred (selection function)."""
+        return ports

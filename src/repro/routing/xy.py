@@ -1,0 +1,24 @@
+"""Deterministic dimension-order (XY) routing.
+
+Packets fully traverse the X dimension before turning into Y. On a mesh
+this is minimal and deadlock-free without virtual channels, which is why it
+also serves as the escape function for the adaptive algorithms.
+"""
+
+from __future__ import annotations
+
+from repro.routing.base import RoutingAlgorithm
+
+__all__ = ["XYRouting"]
+
+
+class XYRouting(RoutingAlgorithm):
+    """X-then-Y dimension-order routing."""
+
+    name = "xy"
+
+    def admissible_ports(self, node: int, pkt) -> tuple[int, ...]:
+        return (self.network.topology.xy_port(node, pkt.dst),)
+
+    def escape_port(self, node: int, pkt) -> int:
+        return self.network.topology.xy_port(node, pkt.dst)

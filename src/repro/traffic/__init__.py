@@ -1,0 +1,52 @@
+"""Traffic generation.
+
+* :mod:`repro.traffic.patterns` — destination samplers: uniform random,
+  transpose, bit-complement, hotspot (the paper's UR/TP/BC/HS), plus
+  region-restricted wrappers.
+* :mod:`repro.traffic.synthetic` — Bernoulli packet sources with the
+  paper's bimodal 1-/5-flit length mix.
+* :mod:`repro.traffic.regional` — per-application regionalized traffic
+  (intra-region + inter-region + memory-controller components) used by the
+  Figure 8/11/13 scenarios.
+* :mod:`repro.traffic.adversarial` — the Figure 17 chip-wide flood.
+* :mod:`repro.traffic.parsec` — the PARSEC-trace substitution: bursty
+  request/reply workloads with per-application intensity profiles.
+* :mod:`repro.traffic.trace` — capture/replay of packet traces.
+"""
+
+from repro.traffic.adversarial import AdversarialTrafficSource
+from repro.traffic.coherence import CoherenceConfig, CoherenceWorkload
+from repro.traffic.parsec import PARSEC_PROFILES, ParsecAppProfile, ParsecWorkload
+from repro.traffic.patterns import (
+    BitComplementPattern,
+    HotspotPattern,
+    OutOfRegionPattern,
+    TransposePattern,
+    UniformPattern,
+    make_pattern,
+)
+from repro.traffic.regional import RegionalAppTraffic
+from repro.traffic.synthetic import BimodalLengths, FixedLength, SyntheticTrafficSource
+from repro.traffic.trace import Trace, TraceTrafficSource, capture_trace
+
+__all__ = [
+    "UniformPattern",
+    "TransposePattern",
+    "BitComplementPattern",
+    "HotspotPattern",
+    "OutOfRegionPattern",
+    "make_pattern",
+    "SyntheticTrafficSource",
+    "BimodalLengths",
+    "FixedLength",
+    "RegionalAppTraffic",
+    "AdversarialTrafficSource",
+    "ParsecWorkload",
+    "ParsecAppProfile",
+    "PARSEC_PROFILES",
+    "CoherenceWorkload",
+    "CoherenceConfig",
+    "Trace",
+    "TraceTrafficSource",
+    "capture_trace",
+]

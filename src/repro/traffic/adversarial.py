@@ -1,0 +1,48 @@
+"""Adversarial traffic — the Figure 17 stressor.
+
+The paper models "malicious traffic (e.g., an elaborated attack, or simply
+an OS bug)" as uniform chip-wide traffic at 0.4 flits/cycle/node layered on
+top of normal application traffic. Packets are flagged ``is_adversarial``
+so statistics can exclude them, and carry their own application id so
+region-aware schemes see them as foreign everywhere (no region is assigned
+to the adversary) while STC's intensity oracle ranks them last.
+"""
+
+from __future__ import annotations
+
+from repro.noc.topology import MeshTopology
+from repro.traffic.patterns import UniformPattern
+from repro.traffic.synthetic import SyntheticTrafficSource
+
+__all__ = ["AdversarialTrafficSource", "ADVERSARY_APP_ID"]
+
+#: app id reserved for the adversary (outside any region)
+ADVERSARY_APP_ID = 1_000
+
+
+class AdversarialTrafficSource(SyntheticTrafficSource):
+    """Uniform chip-wide flood at a fixed rate (default 0.4 flits/node/cycle)."""
+
+    def __init__(
+        self,
+        topology: MeshTopology,
+        seed,
+        rate: float = 0.4,
+        app_id: int = ADVERSARY_APP_ID,
+        vnet: int = 0,
+        start: int = 0,
+        stop: int | None = None,
+        region_map=None,
+    ):
+        super().__init__(
+            nodes=range(topology.num_nodes),
+            rate=rate,
+            pattern=UniformPattern(topology),
+            app_id=app_id,
+            seed=seed,
+            vnet=vnet,
+            region_map=region_map,
+            start=start,
+            stop=stop,
+            adversarial=True,
+        )

@@ -1,0 +1,18 @@
+"""Shared utilities: error types, RNG handling, config validation helpers."""
+
+from repro.util.errors import (
+    ConfigError,
+    ReproError,
+    SimulationError,
+    TrafficError,
+)
+from repro.util.rng import make_rng, spawn_rngs
+
+__all__ = [
+    "ReproError",
+    "ConfigError",
+    "SimulationError",
+    "TrafficError",
+    "make_rng",
+    "spawn_rngs",
+]

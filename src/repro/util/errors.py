@@ -1,0 +1,27 @@
+"""Exception hierarchy for the repro package.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything the package raises with one handler while still letting
+programming errors (``TypeError``, ``AttributeError``...) propagate.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ConfigError(ReproError, ValueError):
+    """An invalid or inconsistent configuration value was supplied."""
+
+
+class SimulationError(ReproError, RuntimeError):
+    """The simulator reached an internal inconsistency.
+
+    This is raised on invariant violations (e.g. negative credits, a flit
+    sent from an empty buffer). It always indicates a bug in the simulator
+    or a corrupted external mutation of its state, never a user mistake.
+    """
+
+
+class TrafficError(ReproError, ValueError):
+    """A traffic generator was asked for something it cannot produce."""

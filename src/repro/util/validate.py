@@ -1,0 +1,31 @@
+"""Small validation helpers used by configuration dataclasses."""
+
+from __future__ import annotations
+
+from repro.util.errors import ConfigError
+
+__all__ = ["require", "check_positive", "check_fraction", "check_in"]
+
+
+def require(cond: bool, msg: str) -> None:
+    """Raise :class:`ConfigError` with ``msg`` unless ``cond`` holds."""
+    if not cond:
+        raise ConfigError(msg)
+
+
+def check_positive(value: float, name: str) -> None:
+    """Require ``value > 0``."""
+    if not value > 0:
+        raise ConfigError(f"{name} must be positive, got {value!r}")
+
+
+def check_fraction(value: float, name: str) -> None:
+    """Require ``0 <= value <= 1``."""
+    if not 0.0 <= value <= 1.0:
+        raise ConfigError(f"{name} must be in [0, 1], got {value!r}")
+
+
+def check_in(value, options, name: str) -> None:
+    """Require ``value in options``."""
+    if value not in options:
+        raise ConfigError(f"{name} must be one of {sorted(options)!r}, got {value!r}")

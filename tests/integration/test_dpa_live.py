@@ -1,0 +1,93 @@
+"""Live-network DPA behaviour: the hysteresis state machine must actually
+flip under the traffic conditions the paper describes."""
+
+from repro import RegionMap, build_simulation
+from repro.noc.config import NocConfig
+from repro.noc.topology import MeshTopology
+from repro.traffic.patterns import UniformPattern
+from repro.traffic.regional import RegionalAppTraffic
+from repro.traffic.synthetic import SyntheticTrafficSource
+
+
+def build_halves(scheme="rair"):
+    cfg = NocConfig(width=6, height=6)
+    topo = MeshTopology(6, 6)
+    rm = RegionMap.halves(topo)
+    sim, net = build_simulation(cfg, region_map=rm, scheme=scheme, routing="local")
+    return sim, net, rm
+
+
+class TestDpaStateInLiveRuns:
+    def test_initial_state_is_foreign_high(self):
+        _, net, _ = build_halves()
+        assert not any(r.native_high for r in net.routers)
+
+    def test_heavy_native_region_keeps_foreign_high(self):
+        """Paper case (1)/(2): intense native + light foreign -> foreign
+        keeps priority (native_high stays False)."""
+        sim, net, rm = build_halves()
+        sim.add_traffic(
+            RegionalAppTraffic(rm, 1, rate=0.30, seed=1,
+                               intra_fraction=0.9, inter_fraction=0.1, mc_fraction=0.0)
+        )
+        sim.add_traffic(
+            RegionalAppTraffic(rm, 0, rate=0.02, seed=2,
+                               intra_fraction=0.5, inter_fraction=0.5, mc_fraction=0.0)
+        )
+        sim.run(800)
+        region1 = [net.routers[n] for n in rm.nodes_of(1)]
+        # Majority of busy region-1 routers must still favour foreign.
+        busy = [r for r in region1 if r.ovc_n + r.ovc_f > 0]
+        assert busy
+        foreign_high = sum(1 for r in busy if not r.native_high)
+        assert foreign_high >= len(busy) * 0.6
+
+    def test_foreign_flood_flips_native_high(self):
+        """Paper case (3)/adversarial: foreign occupancy exceeding native
+        flips priority to protect the light native traffic."""
+        sim, net, rm = build_halves()
+        topo = net.topology
+        # Light native traffic in region 0, heavy chip-wide foreign flood
+        # from an unplaced app id (foreign everywhere).
+        sim.add_traffic(
+            RegionalAppTraffic(rm, 0, rate=0.02, seed=3,
+                               intra_fraction=1.0, inter_fraction=0.0, mc_fraction=0.0)
+        )
+        sim.add_traffic(
+            SyntheticTrafficSource(
+                nodes=range(36), rate=0.30, pattern=UniformPattern(topo),
+                app_id=500, seed=4,
+            )
+        )
+        sim.run(800)
+        region0 = [net.routers[n] for n in rm.nodes_of(0)]
+        busy = [r for r in region0 if r.ovc_f > 0]
+        assert busy
+        native_high = sum(1 for r in busy if r.native_high)
+        assert native_high >= len(busy) * 0.6
+
+    def test_dpa_state_changes_over_time_with_phased_traffic(self):
+        """Alternating load phases must move the DPA state both ways."""
+        sim, net, rm = build_halves()
+        topo = net.topology
+        # Phase 1: foreign flood (cycles 0-600). Phase 2: native heavy
+        # (cycles 600-1200).
+        sim.add_traffic(
+            SyntheticTrafficSource(
+                nodes=range(36), rate=0.25, pattern=UniformPattern(topo),
+                app_id=500, seed=5, stop=600,
+            )
+        )
+        sim.add_traffic(
+            RegionalAppTraffic(rm, 0, rate=0.30, seed=6,
+                               intra_fraction=1.0, inter_fraction=0.0, mc_fraction=0.0,
+                               start=600, stop=1200)
+        )
+        region0 = [net.routers[n] for n in rm.nodes_of(0)]
+        sim.run(550)
+        snapshot_flood = sum(1 for r in region0 if r.native_high)
+        sim.run(600)  # deep into the native-heavy phase
+        snapshot_native = sum(1 for r in region0 if r.native_high)
+        # During the flood most busy routers protect native; afterwards the
+        # balance shifts back toward foreign-high.
+        assert snapshot_flood > snapshot_native

@@ -1,0 +1,201 @@
+"""Integration tests for the experiment harness (smoke-scale runs)."""
+
+import math
+
+import pytest
+
+from repro.experiments import (
+    Effort,
+    SCHEMES,
+    run_scenario,
+    saturation_load,
+)
+from repro.experiments import (
+    ablation_hysteresis,
+    ablation_vcsplit,
+    fig09_msp,
+    fig10_routing,
+    fig12_dpa,
+    fig14_sixapp,
+    fig15_patterns,
+    fig17_parsec,
+    table1,
+)
+from repro.experiments.calibrate import find_saturation, probe_apl
+from repro.experiments.scenarios import (
+    four_app_dpa,
+    parsec_quadrants,
+    six_app,
+    two_app_msp,
+)
+from repro.util.errors import ConfigError
+
+
+class TestSaturationTable:
+    def test_known_keys_resolve(self):
+        assert 0 < saturation_load("ur_chip_8x8") < 1
+
+    def test_unknown_key_raises_helpfully(self):
+        with pytest.raises(ConfigError, match="calibrate"):
+            saturation_load("ur_moon_base")
+
+
+class TestScenarios:
+    def test_two_app_meta(self):
+        s = two_app_msp(0.4)
+        assert s.meta["p_inter"] == 0.4
+        assert s.region_map.num_apps == 2
+        sources = s.traffic_factory(7)
+        assert len(sources) == 2
+        assert sources[1].intra_fraction == 1.0
+
+    def test_two_app_rates_track_saturation(self):
+        s = two_app_msp(0.0)
+        sat = saturation_load("ur_half_4x8")
+        assert s.meta["low_rate"] == pytest.approx(0.10 * sat)
+        # High app runs at 0.80 of the solo knee (in-context calibration,
+        # see the scenario docstring).
+        assert s.meta["high_rate"] == pytest.approx(0.80 * sat)
+
+    def test_four_app_variants(self):
+        for variant in ("a", "b"):
+            s = four_app_dpa(variant)
+            sources = s.traffic_factory(3)
+            assert len(sources) == 4
+        with pytest.raises(ValueError):
+            four_app_dpa("c")
+
+    def test_four_app_a_routes_inter_traffic_to_app3(self):
+        s = four_app_dpa("a")
+        src0 = s.traffic_factory(3)[0]
+        rm = s.region_map
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        dsts = {src0._inter(rng, rm.nodes_of(0)[0]) for _ in range(60)}
+        assert dsts <= set(rm.nodes_of(3))
+
+    def test_six_app_load_mix(self):
+        s = six_app()
+        sources = s.traffic_factory(3)
+        assert len(sources) == 6
+        for src in sources:
+            assert src.intra_fraction == pytest.approx(0.75)
+            assert src.inter_fraction == pytest.approx(0.20)
+            assert src.mc_fraction == pytest.approx(0.05)
+        # high-load apps offered more than low-load ones
+        assert sources[1].rate > sources[0].rate
+
+    def test_six_app_patterns(self):
+        for pattern in ("ur", "tp", "bc", "hs"):
+            s = six_app(global_pattern=pattern)
+            assert s.name.endswith(pattern)
+            s.traffic_factory(1)
+
+    def test_parsec_scenario_uses_two_vnets(self):
+        s = parsec_quadrants()
+        assert s.config.num_vnets == 2
+        assert len(s.traffic_factory(1)) == 1
+        s_adv = parsec_quadrants(adversarial=True)
+        assert len(s_adv.traffic_factory(1)) == 2
+
+
+class TestRunScenario:
+    def test_basic_run(self):
+        res = run_scenario(SCHEMES["RO_RR"], two_app_msp(0.5), effort=Effort.SMOKE)
+        assert res.drained
+        assert set(res.per_app_apl) == {0, 1}
+        assert res.packets_measured > 50
+        assert not math.isnan(res.apl)
+
+    def test_reduction_vs(self):
+        scenario = two_app_msp(1.0)
+        base = run_scenario(SCHEMES["RO_RR"], scenario, effort=Effort.SMOKE)
+        rair = run_scenario(SCHEMES["RA_RAIR"], scenario, effort=Effort.SMOKE)
+        red = rair.reduction_vs(base, app=0)
+        assert -1.0 < red < 1.0
+
+    def test_policy_overrides_apply(self):
+        from repro.core.dpa import DpaConfig
+
+        res = run_scenario(
+            SCHEMES["RA_RAIR"],
+            two_app_msp(0.5),
+            effort=Effort.SMOKE,
+            policy_overrides={"dpa": DpaConfig(delta=0.3)},
+        )
+        assert res.drained
+
+
+class TestFigureModules:
+    def test_table1_renders(self):
+        result = table1.run()
+        text = result.format_table()
+        assert "Virtual channels" in text
+        assert "128" in text
+
+    def test_fig09_smoke(self):
+        res = fig09_msp.run(effort=Effort.SMOKE, p_values=(1.0,), schemes=("RO_RR", "RAIR_VA+SA"))
+        assert len(res.rows) == 2
+        rr = res.row_by(scheme="RO_RR")
+        rair = res.row_by(scheme="RAIR_VA+SA")
+        assert rair["apl_app0"] < rr["apl_app0"]
+        assert "Figure 9" in res.format_table()
+
+    def test_fig10_smoke(self):
+        res = fig10_routing.run(
+            effort=Effort.SMOKE, p_values=(1.0,), schemes=("RO_RR_Local", "RAIR_DBAR")
+        )
+        assert len(res.rows) == 2
+
+    def test_fig12_smoke(self):
+        res = fig12_dpa.run(effort=Effort.SMOKE, variants=("a",), schemes=("RAIR_DPA",))
+        row = res.rows[0]
+        assert "red_avg" in row
+
+    def test_fig14_smoke(self):
+        res = fig14_sixapp.run(effort=Effort.SMOKE, schemes=("RA_RAIR",))
+        assert res.rows[0]["scheme"] == "RA_RAIR"
+
+    def test_fig15_smoke(self):
+        res = fig15_patterns.run(effort=Effort.SMOKE, patterns=("tp",), schemes=("RA_RAIR",))
+        assert res.rows[0]["pattern"] == "TP"
+
+    def test_fig17_smoke(self):
+        res = fig17_parsec.run(effort=Effort.SMOKE, schemes=("RO_RR",))
+        row = res.rows[0]
+        assert row["slow_avg"] > 0.8  # a slowdown factor, not a reduction
+
+    def test_ablation_hysteresis_smoke(self):
+        res = ablation_hysteresis.run(effort=Effort.SMOKE, deltas=(0.2,))
+        assert res.rows[0]["delta"] == 0.2
+
+    def test_ablation_vcsplit_smoke(self):
+        res = ablation_vcsplit.run(effort=Effort.SMOKE, splits=ablation_vcsplit.SPLITS[1:2])
+        assert res.rows[0]["split"] == "2G:2R"
+
+
+class TestFigureResultFormatting:
+    def test_row_by_raises_on_miss(self):
+        res = table1.run()
+        with pytest.raises(KeyError):
+            res.row_by(item="GPU")
+
+    def test_format_handles_floats_and_strings(self):
+        from repro.experiments.runner import FigureResult
+
+        r = FigureResult(
+            figure="F", title="t", columns=["a", "b"], rows=[{"a": 1.23456, "b": "x"}]
+        )
+        text = r.format_table()
+        assert "1.235" in text and "x" in text
+
+
+class TestCalibrationHelpers:
+    def test_probe_apl_runs(self):
+        from repro.experiments.calibrate import _chip_ur
+        from repro.noc.topology import MeshTopology
+
+        make, rm = _chip_ur(MeshTopology(8, 8))
+        apl, drained = probe_apl(make, 0.05, region_map=rm, warmup=100, measure=300)
+        assert drained and 10 < apl < 100

@@ -1,0 +1,158 @@
+"""White-box router behaviour tests: arbitration fairness, atomic VC reuse,
+escape-VC admissibility and wormhole integrity on a live network."""
+
+import pytest
+
+from repro import build_simulation
+from repro.noc.buffers import VC_ACTIVE, VC_VA
+from repro.noc.config import NocConfig, VcClass
+from repro.noc.flit import Packet
+from repro.noc.topology import EAST, LOCAL, WEST
+from repro.util.errors import SimulationError
+
+
+def build(width=4, height=4, routing="xy", scheme="ro_rr"):
+    return build_simulation(NocConfig(width=width, height=height), scheme=scheme, routing=routing)
+
+
+class TestVaContention:
+    def test_two_senders_share_one_column_fairly(self):
+        """Nodes 0 and 8 both stream packets through node 1's east port;
+        round-robin must interleave their service so neither starves."""
+        sim, net = build(width=4, height=4, routing="xy")
+        # Saturating streams from two sources crossing router 1.
+        for i in range(12):
+            net.inject(Packet(src=0, dst=3, length=5, inject_cycle=0, app_id=0))
+            net.inject(Packet(src=1, dst=3, length=5, inject_cycle=0, app_id=1))
+        assert sim.run_until_drained(20_000)
+        a = net.stats._as_arrays()
+        # Both apps' packets finished, and their completion times overlap
+        # (no starvation: neither app finishes entirely before the other
+        # gets service).
+        eject0 = sorted(a["eject"][a["app"] == 0])
+        eject1 = sorted(a["eject"][a["app"] == 1])
+        assert len(eject0) == len(eject1) == 12
+        assert eject0[0] < eject1[-1] and eject1[0] < eject0[-1]
+
+
+class TestAtomicVcReuse:
+    def test_vc_not_reallocated_until_drained(self):
+        """With a single data VC, back-to-back packets on one path must be
+        separated by at least the drain bubble of the atomic VC."""
+        cfg = NocConfig(
+            width=4, height=4,
+            vc_classes=(VcClass.GLOBAL,),  # 1 data VC + 1 escape
+        )
+        sim, net = build_simulation(cfg, scheme="ro_rr", routing="xy")
+        net.inject(Packet(src=0, dst=2, length=5, inject_cycle=0))
+        net.inject(Packet(src=0, dst=2, length=5, inject_cycle=0))
+        assert sim.run_until_drained(5000)
+        assert net.stats.packets_ejected == 2
+
+    def test_state_clean_after_single_vc_stress(self):
+        cfg = NocConfig(width=4, height=4, vc_classes=(VcClass.REGIONAL,))
+        sim, net = build_simulation(cfg, scheme="ro_rr", routing="local")
+        for i in range(16):
+            net.inject(Packet(src=i % 16, dst=(i * 7 + 3) % 16, length=5, inject_cycle=0))
+        assert sim.run_until_drained(30_000)
+        for router in net.routers:
+            assert router.busy_vcs == 0
+            for port in range(1, 5):
+                for vc in range(net.config.total_vcs):
+                    assert router.out_credits[port][vc] == cfg.vc_depth
+
+
+class TestEscapeVcAdmissibility:
+    def test_escape_vc_unused_off_the_xy_port(self):
+        """Fill the adaptive VCs of the non-XY direction; the packet must
+        not take the escape VC there (it would break Duato's condition)."""
+        sim, net = build(width=4, height=4, routing="local")
+        topo = net.topology
+        src = topo.node_at(1, 1)
+        dst = topo.node_at(2, 2)
+        router = net.routers[src]
+        p = Packet(src=src, dst=dst, length=1, inject_cycle=0)
+        # Deliver the head into a local VC by injecting normally.
+        net.inject(p)
+        sim.step()  # head arrives in LOCAL VC
+        # Occupy every data VC on both minimal ports (EAST=2, SOUTH=3) by
+        # faking owners; leave only the escape VCs free.
+        cfg = net.config
+        blocker = object()
+        for port in (2, 3):
+            for vc in cfg.vnet_vcs(0):
+                if not cfg.is_escape_vc(vc):
+                    router.out_owner[port][vc] = blocker
+        sim.step()  # VA round with only escape VCs free
+        local_vcs = router.in_vcs[LOCAL]
+        holder = next(v for v in local_vcs if v.pkt is p)
+        if holder.state == VC_ACTIVE:
+            # If granted, it must be the escape VC on the XY port (EAST).
+            assert holder.out_port == net.routing.escape_port(src, p)
+            assert cfg.is_escape_vc(holder.out_vc)
+        else:
+            assert holder.state == VC_VA  # still waiting is also legal
+
+
+class TestWormholeIntegrity:
+    def test_flits_of_a_packet_never_interleave(self):
+        """Atomic VCs + per-VC accounting make interleaving impossible; the
+        InputVC raises if a foreign flit sneaks in. Stress a hot column and
+        rely on the internal checks."""
+        sim, net = build(width=4, height=4, routing="local")
+        for i in range(30):
+            net.inject(Packet(src=i % 4, dst=12 + (i % 4), length=5, inject_cycle=0))
+        assert sim.run_until_drained(30_000)  # SimulationError would fail this
+        assert net.stats.packets_ejected == 30
+
+    def test_single_flit_and_long_packets_mix(self):
+        sim, net = build(routing="local")
+        for i in range(20):
+            net.inject(
+                Packet(src=i % 16, dst=(i + 5) % 16, length=1 if i % 2 else 5,
+                       inject_cycle=0)
+            )
+        assert sim.run_until_drained(20_000)
+        assert net.stats.packets_ejected == 20
+
+
+class TestEjectionBandwidth:
+    def test_one_flit_per_cycle_into_each_ni(self):
+        """Four senders to one sink: ejection is serialized by SA_out, so
+        total drain time is bounded below by total flits."""
+        sim, net = build(routing="local")
+        flits = 0
+        for src in (0, 3, 12, 15):
+            for _ in range(3):
+                net.inject(Packet(src=src, dst=5, length=5, inject_cycle=0))
+                flits += 5
+        start = sim.cycle
+        assert sim.run_until_drained(20_000)
+        # The sink received `flits` flits at <= 1/cycle.
+        assert sim.cycle - start >= flits
+
+    def test_ejection_counts_in_link_stats(self):
+        sim, net = build()
+        net.inject(Packet(src=0, dst=5, length=5, inject_cycle=0))
+        sim.run_until_drained(1000)
+        assert net.link_flits[5, LOCAL] == 5
+
+
+class TestCreditLoop:
+    def test_credits_bounded_by_depth_always(self):
+        sim, net = build(routing="local")
+        for i in range(40):
+            net.inject(Packet(src=i % 16, dst=15 - i % 16, length=5, inject_cycle=0))
+        for _ in range(200):
+            sim.step()
+            for router in net.routers:
+                for port in range(1, 5):
+                    for vc in range(net.config.total_vcs):
+                        assert 0 <= router.out_credits[port][vc] <= net.config.vc_depth
+
+    def test_credit_overflow_detected(self):
+        sim, net = build()
+        net._push(net._credits, 1, (0, EAST, 0))  # bogus credit
+        net.inject(Packet(src=3, dst=0, length=1, inject_cycle=0))
+        with pytest.raises(SimulationError, match="credit overflow"):
+            sim.run(3)

@@ -1,0 +1,32 @@
+"""CLI tests: run_all with a cheap subset, figure CLIs' argument handling."""
+
+import pytest
+
+from repro.experiments import run_all, table1
+
+
+class TestRunAllCli:
+    def test_table1_only(self, tmp_path, capsys):
+        run_all.main(["--only", "table1", "--out", str(tmp_path)])
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert (tmp_path / "table1.txt").exists()
+        assert (tmp_path / "summary.txt").exists()
+        summary = (tmp_path / "summary.txt").read_text()
+        assert "table1" in summary
+
+    def test_unknown_experiment_rejected(self, tmp_path):
+        with pytest.raises(SystemExit, match="unknown experiments"):
+            run_all.main(["--only", "fig99", "--out", str(tmp_path)])
+
+    def test_unknown_effort_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            run_all.main(["--effort", "ludicrous", "--out", str(tmp_path)])
+
+
+class TestFigureCli:
+    def test_table1_main_prints(self, capsys):
+        table1.main([])
+        out = capsys.readouterr().out
+        assert "Virtual channels" in out
+        assert "128 bits/cycle" in out

@@ -1,0 +1,90 @@
+"""Property-based tests for arbitration fairness and policy keys."""
+
+from collections import Counter
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arbitration.base import rotating_pick
+from repro.core.dpa import DpaConfig
+from repro.core.rair import RairPolicy
+from repro.noc.config import VcClass
+
+
+class FakeVC:
+    def __init__(self, native):
+        self.is_native = native
+
+
+class FakeRouter:
+    def __init__(self, native_high):
+        self.native_high = native_high
+
+
+ids = st.lists(st.integers(min_value=0, max_value=15), min_size=1, max_size=8, unique=True)
+
+
+@given(ids, st.integers(min_value=0, max_value=15))
+def test_winner_is_always_a_candidate(candidate_ids, ptr):
+    winner, new_ptr = rotating_pick(candidate_ids, lambda x: x, ptr, 16)
+    assert winner in candidate_ids
+    assert 0 <= new_ptr < 16
+
+
+@given(ids)
+@settings(max_examples=50)
+def test_long_run_fairness(candidate_ids):
+    """With a fixed candidate set, rotating pick serves all equally."""
+    ptr = 0
+    wins = Counter()
+    rounds = 40 * len(candidate_ids)
+    for _ in range(rounds):
+        winner, ptr = rotating_pick(candidate_ids, lambda x: x, ptr, 16)
+        wins[winner] += 1
+    counts = [wins[c] for c in candidate_ids]
+    assert max(counts) - min(counts) <= max(2, rounds // len(candidate_ids) // 4)
+
+
+@given(ids, st.integers(min_value=0, max_value=15))
+def test_priority_class_never_loses_to_lower_class(candidate_ids, ptr):
+    if len(candidate_ids) < 2:
+        return
+    privileged = set(candidate_ids[: len(candidate_ids) // 2])
+    winner, _ = rotating_pick(
+        candidate_ids, lambda x: x, ptr, 16,
+        priority_of=lambda c: 0 if c in privileged else 1,
+    )
+    assert winner in privileged
+
+
+@given(st.booleans(), st.booleans(), st.booleans())
+def test_rair_va_keys_total_order(native_a, native_b, native_high):
+    """RAIR's VA keys are consistent: on global VCs foreign <= native, on
+    regional VCs the DPA-favoured side <= the other, regardless of inputs."""
+    policy = RairPolicy()
+    router = FakeRouter(native_high)
+    ka = policy.va_out_priority(router, VcClass.GLOBAL, FakeVC(native_a))
+    kb = policy.va_out_priority(router, VcClass.GLOBAL, FakeVC(native_b))
+    if native_a == native_b:
+        assert ka == kb
+    elif native_a:
+        assert ka > kb
+    else:
+        assert ka < kb
+    kra = policy.va_out_priority(router, VcClass.REGIONAL, FakeVC(native_a))
+    if native_a == native_high:
+        assert kra == 0
+    else:
+        assert kra == 1
+
+
+@given(st.integers(min_value=0, max_value=40), st.integers(min_value=0, max_value=40))
+def test_dpa_static_modes_ignore_counters(n, f):
+    router = FakeRouter(native_high=True)
+    router.ovc_n, router.ovc_f = n, f
+    RairPolicy(dpa=DpaConfig(mode="native")).end_router_cycle(router, 1)
+    assert router.native_high
+    router = FakeRouter(native_high=False)
+    router.ovc_n, router.ovc_f = n, f
+    RairPolicy(dpa=DpaConfig(mode="foreign")).end_router_cycle(router, 1)
+    assert not router.native_high

@@ -1,0 +1,73 @@
+"""Property-based tests for the DPA hysteresis state machine."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dpa import hysteresis_update
+
+counters = st.integers(min_value=0, max_value=100)
+deltas = st.floats(min_value=0.0, max_value=0.9, allow_nan=False)
+states = st.booleans()
+
+
+@given(states, counters, counters, deltas)
+def test_output_is_boolean(state, n, f, delta):
+    assert hysteresis_update(state, n, f, delta) in (True, False)
+
+
+@given(counters, counters, deltas)
+def test_outside_band_state_independent(n, f, delta):
+    """Far outside the hysteresis band both prior states agree."""
+    if n == 0:
+        return
+    r = f / n
+    if r > 1 + delta or r < 1 - delta:
+        assert hysteresis_update(True, n, f, delta) == hysteresis_update(False, n, f, delta)
+
+
+@given(states, counters, counters, deltas)
+def test_inside_band_state_is_sticky(state, n, f, delta):
+    if n == 0:
+        return
+    r = f / n
+    if 1 - delta < r < 1 + delta:
+        assert hysteresis_update(state, n, f, delta) == state
+
+
+@given(states, counters, counters, deltas)
+def test_idempotent_under_constant_input(state, n, f, delta):
+    """Reapplying the update with unchanged counters reaches a fixed point."""
+    once = hysteresis_update(state, n, f, delta)
+    twice = hysteresis_update(once, n, f, delta)
+    assert once == twice
+
+
+@given(states, counters, deltas)
+def test_monotone_in_foreign_occupancy(state, n, delta):
+    """More foreign occupancy never *lowers* native priority."""
+    results = [hysteresis_update(state, n, f, delta) for f in range(0, 60)]
+    # Once native goes high it stays high as f grows further.
+    if True in results:
+        first_true = results.index(True)
+        assert all(results[first_true:])
+
+
+@given(states, counters, deltas)
+@settings(max_examples=50)
+def test_monotone_in_native_occupancy(state, f, delta):
+    """More native occupancy never *raises* native priority."""
+    results = [hysteresis_update(state, n, f, delta) for n in range(1, 60)]
+    if False in results:
+        first_false = results.index(False)
+        assert not any(results[first_false:])
+
+
+@given(states, deltas)
+def test_idle_keeps_state(state, delta):
+    assert hysteresis_update(state, 0, 0, delta) == state
+
+
+@given(states, counters, deltas)
+def test_foreign_only_always_native_high(state, f, delta):
+    if f > 0:
+        assert hysteresis_update(state, 0, f, delta)

@@ -1,0 +1,101 @@
+"""Property-based tests for traffic patterns and region maps."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.regions import RegionMap
+from repro.noc.topology import MeshTopology
+from repro.traffic.patterns import (
+    BitComplementPattern,
+    HotspotPattern,
+    OutOfRegionPattern,
+    TransposePattern,
+    UniformPattern,
+)
+
+dims = st.integers(min_value=2, max_value=10)
+seeds = st.integers(min_value=0, max_value=2**31)
+
+
+@given(dims, dims, seeds)
+@settings(max_examples=40)
+def test_uniform_always_valid_destination(w, h, seed):
+    topo = MeshTopology(w, h)
+    rng = np.random.default_rng(seed)
+    pattern = UniformPattern(topo)
+    for src in range(0, topo.num_nodes, max(1, topo.num_nodes // 7)):
+        dst = pattern(rng, src)
+        assert 0 <= dst < topo.num_nodes
+        assert dst != src
+
+
+@given(st.integers(min_value=2, max_value=10), seeds)
+@settings(max_examples=30)
+def test_transpose_is_permutation(n, seed):
+    topo = MeshTopology(n, n)
+    rng = np.random.default_rng(seed)
+    pattern = TransposePattern(topo)
+    images = {pattern(rng, src) for src in range(topo.num_nodes)}
+    assert images == set(range(topo.num_nodes))
+
+
+@given(dims, dims, seeds)
+@settings(max_examples=30)
+def test_bit_complement_is_permutation(w, h, seed):
+    topo = MeshTopology(w, h)
+    rng = np.random.default_rng(seed)
+    pattern = BitComplementPattern(topo)
+    images = {pattern(rng, src) for src in range(topo.num_nodes)}
+    assert images == set(range(topo.num_nodes))
+
+
+@given(dims, dims, seeds, st.floats(min_value=0, max_value=1))
+@settings(max_examples=30)
+def test_hotspot_destinations_in_mesh(w, h, seed, prob):
+    topo = MeshTopology(w, h)
+    rng = np.random.default_rng(seed)
+    pattern = HotspotPattern(topo, hot_prob=prob)
+    for src in range(0, topo.num_nodes, max(1, topo.num_nodes // 5)):
+        dst = pattern(rng, src)
+        assert 0 <= dst < topo.num_nodes and dst != src
+
+
+@given(
+    st.integers(min_value=2, max_value=4),
+    st.integers(min_value=1, max_value=3),
+    seeds,
+)
+@settings(max_examples=30)
+def test_out_of_region_never_stays_home(cols, rows, seed):
+    topo = MeshTopology(8, 8)
+    if cols * rows < 2:
+        return
+    rm = RegionMap.grid(topo, cols, rows)
+    rng = np.random.default_rng(seed)
+    pattern = OutOfRegionPattern(UniformPattern(topo), rm)
+    for src in range(0, 64, 7):
+        dst = pattern(rng, src)
+        assert rm.app_of(dst) != rm.app_of(src)
+
+
+@given(
+    st.integers(min_value=2, max_value=12),
+    st.integers(min_value=2, max_value=12),
+    st.integers(min_value=1, max_value=4),
+    st.integers(min_value=1, max_value=4),
+)
+@settings(max_examples=60)
+def test_grid_partition_properties(w, h, cols, rows):
+    """RegionMap.grid is a partition with near-equal rectangular bands."""
+    if cols > w or rows > h:
+        return
+    topo = MeshTopology(w, h)
+    rm = RegionMap.grid(topo, cols, rows)
+    # Partition: every node assigned, ids dense.
+    assert rm.num_apps == cols * rows
+    total = sum(len(rm.nodes_of(a)) for a in rm.apps)
+    assert total == topo.num_nodes
+    # Near-equal: region sizes differ at most by (band imbalance) factor.
+    sizes = [len(rm.nodes_of(a)) for a in rm.apps]
+    assert max(sizes) - min(sizes) <= (w // cols + 1) * (h // rows + 1)

@@ -1,0 +1,114 @@
+"""Property-based tests for statistics filtering and trace round-trips."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.noc.flit import Packet
+from repro.noc.stats import NetworkStats
+from repro.traffic.trace import Trace, TraceTrafficSource
+
+packet_rows = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=500),   # inject
+        st.integers(min_value=1, max_value=400),   # latency
+        st.integers(min_value=0, max_value=5),     # app
+        st.booleans(),                              # is_global
+        st.booleans(),                              # adversarial
+    ),
+    min_size=0,
+    max_size=60,
+)
+
+
+def fill_stats(rows):
+    stats = NetworkStats()
+    for inject, latency, app, is_global, adversarial in rows:
+        pkt = Packet(
+            src=0, dst=1, length=1, inject_cycle=inject, app_id=app,
+            is_global=is_global, is_adversarial=adversarial,
+        )
+        stats.record_ejection(pkt, inject + latency)
+    return stats
+
+
+@given(packet_rows)
+def test_filters_partition_the_log(rows):
+    """global + non-global = all; adversarial excluded subset <= all."""
+    stats = fill_stats(rows)
+    all_lat = stats.latencies(include_adversarial=True)
+    glob = stats.latencies(include_adversarial=True, only_global=True)
+    regional = stats.latencies(include_adversarial=True, only_global=False)
+    assert len(glob) + len(regional) == len(all_lat)
+    assert len(stats.latencies()) <= len(all_lat)
+
+
+@given(packet_rows, st.integers(min_value=0, max_value=500), st.integers(min_value=1, max_value=200))
+def test_window_filter_matches_manual_count(rows, t0, span):
+    stats = fill_stats(rows)
+    window = (t0, t0 + span)
+    expected = sum(
+        1 for inject, _, _, _, adv in rows if t0 <= inject < t0 + span and not adv
+    )
+    assert len(stats.latencies(window=window)) == expected
+
+
+@given(packet_rows)
+def test_per_app_apl_consistent_with_filtered_mean(rows):
+    stats = fill_stats(rows)
+    per_app = stats.per_app_apl()
+    for app, apl in per_app.items():
+        manual = [
+            lat for inject, lat, a, _, adv in rows if a == app and not adv
+        ]
+        if manual:
+            assert apl == np.mean(manual)
+
+
+@given(packet_rows)
+def test_latencies_always_positive(rows):
+    stats = fill_stats(rows)
+    lat = stats.latencies(include_adversarial=True)
+    assert (lat > 0).all()
+
+
+trace_rows = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=200),  # cycle
+        st.integers(min_value=0, max_value=15),   # src
+        st.integers(min_value=0, max_value=15),   # dst
+        st.integers(min_value=1, max_value=5),    # length
+        st.integers(min_value=0, max_value=3),    # app
+        st.integers(min_value=0, max_value=1),    # vnet
+        st.booleans(),
+        st.booleans(),
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+
+class _Collector:
+    def __init__(self):
+        self.packets = []
+
+    def inject(self, pkt):
+        self.packets.append(pkt)
+
+
+@given(trace_rows)
+@settings(max_examples=40)
+def test_trace_save_load_replay_roundtrip(tmp_path_factory, rows):
+    trace = Trace.from_rows(rows)
+    path = tmp_path_factory.mktemp("traces") / "t.npz"
+    trace.save(path)
+    loaded = Trace.load(path)
+    assert np.array_equal(loaded.records, trace.records)
+    sink = _Collector()
+    src = TraceTrafficSource(loaded)
+    for cycle in range(max(r[0] for r in rows) + 2):
+        src.tick(cycle, sink)
+    assert len(sink.packets) == len(rows)
+    replayed = sorted((p.inject_cycle, p.src, p.dst, p.length) for p in sink.packets)
+    original = sorted((c, s, d, ln) for c, s, d, ln, *_ in rows)
+    assert replayed == original

@@ -1,0 +1,109 @@
+"""Unit tests for the analytical reproductions (Section III.B and Fig. 1)."""
+
+import pytest
+
+from repro.analysis import (
+    OverlapModel,
+    lbdr_valid_fraction,
+    lbdr_valid_fraction_montecarlo,
+    mapping_is_lbdr_valid,
+    stall_cycles,
+)
+from repro.util.errors import ConfigError
+
+
+class TestLbdrClosedForm:
+    def test_paper_number(self):
+        """16 cores, 4 MCs, 4 apps -> ~14% (paper Section III.B)."""
+        assert lbdr_valid_fraction(16, 4, 4) == pytest.approx(0.1407, abs=0.0005)
+
+    def test_more_regions_than_mcs_is_impossible(self):
+        # "the number of regions ... is at most the number of MCs".
+        assert lbdr_valid_fraction(16, 2, 4) == 0.0
+
+    def test_fewer_regions_than_mcs_not_covered_by_closed_form(self):
+        with pytest.raises(ConfigError):
+            lbdr_valid_fraction(16, 8, 4)
+
+    def test_uneven_tiling_rejected(self):
+        with pytest.raises(ConfigError):
+            lbdr_valid_fraction(16, 4, 3)
+
+    def test_trivial_cases(self):
+        # One app, one MC: the app always contains the MC.
+        assert lbdr_valid_fraction(8, 1, 1) == 1.0
+        # Two apps of size 1 on 2 cores with 2 MCs: both mappings valid.
+        assert lbdr_valid_fraction(2, 2, 2) == 1.0
+
+    def test_fraction_shrinks_with_app_size_imbalance(self):
+        # Larger chips with the same 4 MCs/4 apps stay near-similar but the
+        # value is always a proper fraction.
+        for cores in (16, 32, 64):
+            frac = lbdr_valid_fraction(cores, 4, 4)
+            assert 0.0 < frac < 1.0
+
+
+class TestLbdrPredicate:
+    def test_valid_mapping(self):
+        node_app = [0, 1, 2, 3, 0, 1, 2, 3]
+        assert mapping_is_lbdr_valid(node_app, mc_nodes=[0, 1, 2, 3])
+
+    def test_invalid_mapping(self):
+        node_app = [0, 0, 1, 1, 2, 2, 3, 3]
+        # MCs all land in apps 0 and 1: apps 2/3 cannot reach memory.
+        assert not mapping_is_lbdr_valid(node_app, mc_nodes=[0, 1, 2, 3])
+
+    def test_unassigned_nodes_ignored(self):
+        node_app = [0, -1, 0, -1]
+        assert mapping_is_lbdr_valid(node_app, mc_nodes=[0])
+        assert not mapping_is_lbdr_valid(node_app, mc_nodes=[1])
+
+
+class TestLbdrMonteCarlo:
+    def test_agrees_with_closed_form(self):
+        exact = lbdr_valid_fraction(16, 4, 4)
+        empirical = lbdr_valid_fraction_montecarlo(16, 4, 4, trials=20_000, seed=1)
+        assert empirical == pytest.approx(exact, abs=0.01)
+
+    def test_deterministic_under_seed(self):
+        a = lbdr_valid_fraction_montecarlo(trials=2000, seed=3)
+        b = lbdr_valid_fraction_montecarlo(trials=2000, seed=3)
+        assert a == b
+
+
+class TestOverlapModel:
+    def test_stall_is_max_not_sum(self):
+        assert stall_cycles([20, 25, 22]) == 25.0
+
+    def test_compute_overlap_hides_latency(self):
+        assert stall_cycles([20], compute_overlap=30) == 0.0
+        assert stall_cycles([50], compute_overlap=30) == 20.0
+
+    def test_empty_batch_no_stall(self):
+        assert stall_cycles([]) == 0.0
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ConfigError):
+            stall_cycles([-1.0])
+
+    def test_fig1_story(self):
+        """Regional P2 hides under P1; global P2' is exposed (Fig. 1)."""
+        model = OverlapModel(regional_latency=20, global_latency=60)
+        example = model.fig1_example()
+        assert example["p2_regional_extra_stall"] == 0.0
+        assert example["p2_global_extra_stall"] == 40.0
+
+    def test_acceleration_payoff_only_above_companions(self):
+        model = OverlapModel()
+        # Accelerating the longest request pays off fully...
+        assert model.speedup_from_acceleration(60, 40, others=[20]) == 20.0
+        # ...but accelerating below the companion saturates.
+        assert model.speedup_from_acceleration(60, 10, others=[20]) == 40.0
+        # Accelerating an already-hidden request saves nothing.
+        assert model.speedup_from_acceleration(15, 5, others=[20]) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            OverlapModel(regional_latency=0)
+        with pytest.raises(ConfigError):
+            OverlapModel().speedup_from_acceleration(10, 20, others=[])

@@ -1,0 +1,134 @@
+"""Unit tests for the InputVC state machine."""
+
+import pytest
+
+from repro.noc.buffers import VC_ACTIVE, VC_IDLE, VC_VA, InputVC
+from repro.noc.config import VcClass
+from repro.noc.flit import Packet
+from repro.util.errors import SimulationError
+
+
+def make_vc(**kw):
+    defaults = dict(node=0, port=1, vc=0, vnet=0, vc_class=VcClass.GLOBAL, is_escape=True)
+    defaults.update(kw)
+    return InputVC(**defaults)
+
+
+def make_pkt(length=3, vnet=0, **kw):
+    return Packet(src=0, dst=5, length=length, inject_cycle=0, vnet=vnet, **kw)
+
+
+class TestHeadArrival:
+    def test_head_moves_idle_to_va(self):
+        vc = make_vc()
+        vc.head_arrive(make_pkt(), cycle=10, native=True)
+        assert vc.state == VC_VA
+        assert vc.va_ready == 11
+        assert vc.occupancy() == 1
+        assert vc.is_native
+
+    def test_head_on_busy_vc_rejected(self):
+        vc = make_vc()
+        vc.head_arrive(make_pkt(), cycle=10, native=True)
+        with pytest.raises(SimulationError):
+            vc.head_arrive(make_pkt(), cycle=11, native=True)
+
+    def test_wrong_vnet_rejected(self):
+        vc = make_vc(vnet=1)
+        with pytest.raises(SimulationError):
+            vc.head_arrive(make_pkt(vnet=0), cycle=0, native=True)
+
+    def test_foreign_classification_cached(self):
+        vc = make_vc()
+        vc.head_arrive(make_pkt(), cycle=0, native=False)
+        assert not vc.is_native
+
+
+class TestBodyArrival:
+    def test_body_increments_occupancy(self):
+        vc = make_vc()
+        vc.head_arrive(make_pkt(length=3), cycle=0, native=True)
+        vc.body_arrive(1)
+        vc.body_arrive(2)
+        assert vc.occupancy() == 3
+        assert vc.flits_recv == 3
+
+    def test_body_on_empty_vc_rejected(self):
+        vc = make_vc()
+        with pytest.raises(SimulationError):
+            vc.body_arrive(0)
+
+    def test_too_many_flits_rejected(self):
+        vc = make_vc()
+        vc.head_arrive(make_pkt(length=1), cycle=0, native=True)
+        with pytest.raises(SimulationError):
+            vc.body_arrive(1)
+
+
+class TestPipelineGates:
+    def test_wants_va_respects_ready_cycle(self):
+        vc = make_vc()
+        vc.head_arrive(make_pkt(), cycle=5, native=True)
+        assert not vc.wants_va(5)  # same cycle as buffer write
+        assert vc.wants_va(6)
+
+    def test_grant_requires_va_state(self):
+        vc = make_vc()
+        with pytest.raises(SimulationError):
+            vc.grant_vc(2, 1, cycle=0)
+
+    def test_grant_moves_to_active_with_setup_delay(self):
+        vc = make_vc()
+        vc.head_arrive(make_pkt(), cycle=0, native=True)
+        vc.grant_vc(2, 1, cycle=1)
+        assert vc.state == VC_ACTIVE
+        assert (vc.out_port, vc.out_vc) == (2, 1)
+        assert vc.sa_ready == 2
+
+    def test_wants_sa_gates(self):
+        vc = make_vc()
+        vc.head_arrive(make_pkt(), cycle=0, native=True)
+        vc.grant_vc(2, 1, cycle=1)
+        assert not vc.wants_sa(1)  # sa_ready not reached
+        assert vc.wants_sa(2)  # flit arrived at 0 < 2, sa_ready == 2
+
+    def test_wants_sa_needs_buffered_flit_from_earlier_cycle(self):
+        vc = make_vc()
+        vc.head_arrive(make_pkt(length=2), cycle=0, native=True)
+        vc.grant_vc(2, 1, cycle=1)
+        vc.send_flit(2)
+        # Second flit arrives *in* cycle 2 -> not eligible until cycle 3.
+        vc.body_arrive(2)
+        assert not vc.wants_sa(2)
+        assert vc.wants_sa(3)
+
+
+class TestSendAndRelease:
+    def test_tail_releases_vc(self):
+        vc = make_vc()
+        vc.head_arrive(make_pkt(length=2), cycle=0, native=True)
+        vc.body_arrive(1)
+        vc.grant_vc(2, 1, cycle=1)
+        assert not vc.send_flit(2)
+        assert vc.send_flit(3)
+        assert vc.state == VC_IDLE
+        assert vc.pkt is None
+        assert vc.occupancy() == 0
+        assert vc.route_ports is None
+
+    def test_send_from_empty_buffer_rejected(self):
+        vc = make_vc()
+        vc.head_arrive(make_pkt(length=2), cycle=0, native=True)
+        vc.grant_vc(2, 1, cycle=1)
+        vc.send_flit(2)
+        with pytest.raises(SimulationError):
+            vc.send_flit(3)  # second flit never arrived
+
+    def test_released_vc_accepts_new_packet(self):
+        vc = make_vc()
+        vc.head_arrive(make_pkt(length=1), cycle=0, native=True)
+        vc.grant_vc(2, 1, cycle=1)
+        vc.send_flit(2)
+        vc.head_arrive(make_pkt(length=1), cycle=5, native=False)
+        assert vc.state == VC_VA
+        assert not vc.is_native

@@ -1,0 +1,176 @@
+"""Unit and integration tests for the coherence workload (Example 3)."""
+
+import pytest
+
+from repro import RegionMap, build_simulation
+from repro.noc.config import NocConfig
+from repro.noc.topology import MeshTopology
+from repro.traffic.coherence import (
+    VNET_FORWARD,
+    VNET_REQUEST,
+    VNET_RESPONSE,
+    CoherenceConfig,
+    CoherenceWorkload,
+)
+from repro.util.errors import TrafficError
+
+
+class FakeNetwork:
+    def __init__(self, num_vnets=3):
+        self.packets = []
+        self.eject_callbacks = []
+        self.config = NocConfig(num_vnets=num_vnets)
+
+    def inject(self, pkt):
+        self.packets.append(pkt)
+
+
+@pytest.fixture
+def quads():
+    return RegionMap.quadrants(MeshTopology(8, 8))
+
+
+def make_workload(quads, seed=1, **cfg):
+    return CoherenceWorkload(quads, CoherenceConfig(**cfg), seed=seed)
+
+
+class TestConfigValidation:
+    def test_rate_bounds(self):
+        with pytest.raises(TrafficError):
+            CoherenceConfig(req_rate=1.5)
+
+    def test_fractions(self):
+        with pytest.raises(Exception):
+            CoherenceConfig(remote_share=-0.1)
+
+    def test_home_policy_names(self):
+        with pytest.raises(TrafficError):
+            CoherenceConfig(home_policy="roaming")
+
+
+class TestHomeSelection:
+    def test_dynamic_homes_stay_in_region(self, quads):
+        wl = make_workload(quads, home_policy="dynamic")
+        for app in quads.apps:
+            for _ in range(20):
+                assert quads.app_of(wl.home_of(app)) == app
+
+    def test_static_homes_span_chip(self, quads):
+        wl = make_workload(quads, home_policy="static")
+        seen = {quads.app_of(wl.home_of(0)) for _ in range(200)}
+        assert len(seen) == 4
+
+    def test_owner_always_in_data_region(self, quads):
+        wl = make_workload(quads)
+        for app in quads.apps:
+            for _ in range(10):
+                assert quads.app_of(wl.owner_of(app)) == app
+
+
+class TestProtocolStructure:
+    def test_requires_three_vnets(self, quads):
+        wl = make_workload(quads)
+        with pytest.raises(TrafficError):
+            wl.tick(0, FakeNetwork(num_vnets=2))
+
+    def test_requests_on_vnet0(self, quads):
+        wl = make_workload(quads, req_rate=0.2)
+        net = FakeNetwork()
+        for cycle in range(100):
+            wl.tick(cycle, net)
+        assert net.packets
+        assert all(p.vnet == VNET_REQUEST and p.length == 1 for p in net.packets)
+
+    def test_two_hop_transaction(self, quads):
+        wl = make_workload(quads, req_rate=0.2, forward_prob=0.0)
+        net = FakeNetwork()
+        for cycle in range(50):
+            wl.tick(cycle, net)
+        req = net.packets[0]
+        net.eject_callbacks[0](req, 100)
+        # Data response scheduled after directory latency.
+        for cycle in range(100, 112):
+            wl.tick(cycle, net)
+        responses = [p for p in net.packets if p.vnet == VNET_RESPONSE]
+        assert len(responses) >= 1
+        data = responses[0]
+        assert data.src == req.dst and data.dst == req.src
+        assert data.length == 5
+        # Completing the response finishes the transaction.
+        net.eject_callbacks[0](data, 130)
+        assert wl.transactions_completed >= 1
+
+    def test_three_hop_transaction_forwards(self, quads):
+        wl = make_workload(quads, req_rate=0.2, forward_prob=1.0, remote_share=1.0)
+        net = FakeNetwork()
+        for cycle in range(60):
+            wl.tick(cycle, net)
+        req = net.packets[0]
+        net.eject_callbacks[0](req, 100)
+        for cycle in range(100, 112):
+            wl.tick(cycle, net)
+        fwds = [p for p in net.packets if p.vnet == VNET_FORWARD]
+        # Forward may degenerate to a direct reply when home == owner, so
+        # try a few requests; with remote_share=1 and 16-node regions a
+        # forward appears with overwhelming probability.
+        if fwds:
+            fwd = fwds[0]
+            net.eject_callbacks[0](fwd, 140)
+            for cycle in range(140, 150):
+                wl.tick(cycle, net)
+            responses = [p for p in net.packets if p.vnet == VNET_RESPONSE]
+            assert any(p.dst == req.src for p in responses)
+
+    def test_transaction_accounting(self, quads):
+        wl = make_workload(quads, req_rate=0.1)
+        net = FakeNetwork()
+        for cycle in range(200):
+            wl.tick(cycle, net)
+            # Eject everything immediately (zero-latency network) to spin
+            # the protocol forward.
+            for p in list(net.packets):
+                net.packets.remove(p)
+                net.eject_callbacks[0](p, cycle + 1)
+        assert wl.transactions_completed > 0
+        report = wl.regionalization_report()
+        assert report["transactions_completed"] == wl.transactions_completed
+        assert report["avg_transaction_cycles"] > 0
+
+
+class TestRegionalization:
+    @staticmethod
+    def intra_fraction(policy: str) -> float:
+        quads = RegionMap.quadrants(MeshTopology(8, 8))
+        wl = CoherenceWorkload(
+            quads,
+            CoherenceConfig(req_rate=0.15, remote_share=0.1, home_policy=policy),
+            seed=3,
+        )
+        net = FakeNetwork()
+        for cycle in range(300):
+            wl.tick(cycle, net)
+            for p in list(net.packets):
+                net.packets.remove(p)
+                net.eject_callbacks[0](p, cycle + 1)
+        return wl.regionalization_report()["intra_fraction"]
+
+    def test_dynamic_homes_regionalize_traffic(self):
+        """The Example-3 effect: dynamic homes flip the intra/inter split."""
+        static = self.intra_fraction("static")
+        dynamic = self.intra_fraction("dynamic")
+        assert dynamic > 0.75
+        assert static < 0.5
+        assert dynamic > static + 0.3
+
+
+class TestEndToEnd:
+    def test_runs_on_simulator_and_drains(self, quads):
+        cfg = NocConfig(num_vnets=3)
+        sim, net = build_simulation(cfg, region_map=quads, scheme="rair", routing="local")
+        wl = make_workload(quads, req_rate=0.02)
+        sim.add_traffic(wl)
+        res = sim.run_measurement(warmup=300, measure=1200)
+        assert res.drained
+        assert wl.transactions_completed > 50
+        report = wl.regionalization_report()
+        assert report["intra_fraction"] > 0.6

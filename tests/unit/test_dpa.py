@@ -1,0 +1,87 @@
+"""Unit tests for dynamic priority adaptation (hysteresis logic)."""
+
+import pytest
+
+from repro.core.dpa import DpaConfig, hysteresis_update
+from repro.util.errors import ConfigError
+
+
+class TestDpaConfig:
+    def test_defaults_match_paper(self):
+        cfg = DpaConfig()
+        assert cfg.delta == pytest.approx(0.2)
+        assert cfg.mode == "dynamic"
+
+    def test_delta_validated(self):
+        with pytest.raises(ConfigError):
+            DpaConfig(delta=1.5)
+        with pytest.raises(ConfigError):
+            DpaConfig(delta=-0.1)
+
+    def test_mode_validated(self):
+        DpaConfig(mode="native")
+        DpaConfig(mode="foreign")
+        with pytest.raises(ValueError):
+            DpaConfig(mode="sometimes")
+
+
+class TestHysteresis:
+    DELTA = 0.2
+
+    def test_low_to_high_requires_ratio_above_upper(self):
+        # r = f/n must exceed 1 + delta to flip native to high priority.
+        assert not hysteresis_update(False, ovc_n=10, ovc_f=11, delta=self.DELTA)
+        assert not hysteresis_update(False, ovc_n=10, ovc_f=12, delta=self.DELTA)
+        assert hysteresis_update(False, ovc_n=10, ovc_f=13, delta=self.DELTA)
+
+    def test_high_to_low_requires_ratio_below_lower(self):
+        assert hysteresis_update(True, ovc_n=10, ovc_f=9, delta=self.DELTA)
+        assert hysteresis_update(True, ovc_n=10, ovc_f=8, delta=self.DELTA)
+        assert not hysteresis_update(True, ovc_n=10, ovc_f=7, delta=self.DELTA)
+
+    def test_dead_band_keeps_state(self):
+        # Inside (1-delta, 1+delta) both states persist — the hysteresis of Fig. 7.
+        for ovc_f in (9, 10, 11):
+            assert hysteresis_update(True, 10, ovc_f, self.DELTA)
+            assert not hysteresis_update(False, 10, ovc_f, self.DELTA)
+
+    def test_no_native_occupancy_gives_native_high(self):
+        # Native absent and foreign present: ratio is infinite.
+        assert hysteresis_update(False, ovc_n=0, ovc_f=1, delta=self.DELTA)
+        assert hysteresis_update(True, ovc_n=0, ovc_f=1, delta=self.DELTA)
+
+    def test_idle_router_keeps_state(self):
+        assert hysteresis_update(True, 0, 0, self.DELTA)
+        assert not hysteresis_update(False, 0, 0, self.DELTA)
+
+    def test_no_foreign_occupancy_gives_foreign_high(self):
+        # r = 0 < 1 - delta: native loses priority (it hoards all VCs).
+        assert not hysteresis_update(True, ovc_n=3, ovc_f=0, delta=self.DELTA)
+        assert not hysteresis_update(False, ovc_n=3, ovc_f=0, delta=self.DELTA)
+
+    def test_zero_delta_is_plain_threshold(self):
+        assert hysteresis_update(False, 10, 11, 0.0)
+        assert not hysteresis_update(True, 10, 9, 0.0)
+        # Exactly r == 1 keeps state in both directions (strict inequalities).
+        assert hysteresis_update(True, 10, 10, 0.0)
+        assert not hysteresis_update(False, 10, 10, 0.0)
+
+    def test_negative_feedback_self_throttles(self):
+        """Section IV.D: priority and occupancy form a negative feedback loop.
+
+        Simulate a toy loop: whichever side has priority grows its
+        occupancy; the state must oscillate rather than lock in.
+        """
+        native_high = False
+        n, f = 5, 5
+        states = []
+        for _ in range(40):
+            native_high = hysteresis_update(native_high, n, f, 0.2)
+            if native_high:
+                n = min(20, n + 2)
+                f = max(1, f - 2)
+            else:
+                f = min(20, f + 2)
+                n = max(1, n - 2)
+            states.append(native_high)
+        assert True in states and False in states

@@ -1,0 +1,151 @@
+"""Unit tests for the PARSEC-like workload generator."""
+
+import pytest
+
+from repro.core.regions import RegionMap
+from repro.noc.flit import MessageClass
+from repro.noc.topology import MeshTopology
+from repro.traffic.parsec import (
+    L2_SERVICE_LATENCY,
+    MC_SERVICE_LATENCY,
+    PARSEC_PROFILES,
+    ParsecAppProfile,
+    ParsecWorkload,
+)
+from repro.util.errors import TrafficError
+
+
+class FakeNetwork:
+    def __init__(self):
+        self.packets = []
+        self.eject_callbacks = []
+
+    def inject(self, pkt):
+        self.packets.append(pkt)
+
+
+@pytest.fixture
+def topo():
+    return MeshTopology(8, 8)
+
+
+@pytest.fixture
+def quads(topo):
+    return RegionMap.quadrants(topo)
+
+
+def profiles4():
+    return [PARSEC_PROFILES[n] for n in ("blackscholes", "swaptions", "fluidanimate", "raytrace")]
+
+
+class TestProfiles:
+    def test_all_thirteen_named_four_present(self):
+        # The paper presents this representative subset.
+        for name in ("blackscholes", "swaptions", "fluidanimate", "raytrace"):
+            assert name in PARSEC_PROFILES
+
+    def test_intensity_ordering_matches_paper(self):
+        # "both low and high intensity traffic": raytrace most intensive.
+        rates = {n: p.mean_rate for n, p in PARSEC_PROFILES.items()}
+        assert rates["raytrace"] > rates["fluidanimate"] > rates["swaptions"]
+        assert rates["swaptions"] > rates["blackscholes"]
+
+    def test_profile_validation(self):
+        with pytest.raises(TrafficError):
+            ParsecAppProfile("bad", rate_on=1.5, rate_off=0, p_on_off=0.1, p_off_on=0.1)
+        with pytest.raises(TrafficError):
+            ParsecAppProfile(
+                "bad", rate_on=0.1, rate_off=0, p_on_off=0.1, p_off_on=0.1,
+                local_frac=0.8, mc_frac=0.3,
+            )
+
+    def test_mean_rate_between_off_and_on(self):
+        for prof in PARSEC_PROFILES.values():
+            assert prof.rate_off <= prof.mean_rate <= prof.rate_on
+
+
+class TestWorkload:
+    def test_profile_count_checked(self, quads):
+        with pytest.raises(TrafficError):
+            ParsecWorkload(quads, profiles4()[:2], seed=1)
+
+    def test_requests_on_vnet0_replies_on_vnet1(self, quads):
+        wl = ParsecWorkload(quads, profiles4(), seed=1)
+        net = FakeNetwork()
+        for cycle in range(300):
+            wl.tick(cycle, net)
+        requests = [p for p in net.packets if p.vnet == int(MessageClass.REQUEST)]
+        assert requests
+        assert all(p.length == 1 for p in requests)
+        assert all(p.reply_length == 5 for p in requests)
+
+    def test_reply_generated_after_service_latency(self, quads):
+        wl = ParsecWorkload(quads, profiles4(), seed=1)
+        net = FakeNetwork()
+        wl.tick(0, net)  # attaches the callback
+        assert net.eject_callbacks
+        # Simulate an ejected L2 request.
+        req = None
+        for cycle in range(1, 400):
+            wl.tick(cycle, net)
+            reqs = [p for p in net.packets if p.vnet == 0 and p.dst not in wl.mc_nodes]
+            if reqs:
+                req = reqs[0]
+                break
+        assert req is not None
+        net.eject_callbacks[0](req, 500)
+        count_replies = lambda: sum(1 for p in net.packets if p.vnet == 1)  # noqa: E731
+        for cycle in range(500, 500 + L2_SERVICE_LATENCY):
+            wl.tick(cycle, net)
+        assert count_replies() == 0  # not due yet
+        wl.tick(500 + L2_SERVICE_LATENCY, net)
+        replies = [p for p in net.packets if p.vnet == 1]
+        assert len(replies) == 1
+        reply = replies[0]
+        assert (reply.src, reply.dst) == (req.dst, req.src)
+        assert reply.length == 5
+        assert reply.app_id == req.app_id
+
+    def test_mc_requests_have_memory_latency(self, quads):
+        wl = ParsecWorkload(quads, profiles4(), seed=3)
+        net = FakeNetwork()
+        for cycle in range(3000):
+            wl.tick(cycle, net)
+        mc_reqs = [p for p in net.packets if p.vnet == 0 and p.dst in wl.mc_nodes]
+        other = [p for p in net.packets if p.vnet == 0 and p.dst not in wl.mc_nodes]
+        assert mc_reqs and other
+        assert all(p.reply_latency == MC_SERVICE_LATENCY for p in mc_reqs)
+        assert all(p.reply_latency == L2_SERVICE_LATENCY for p in other)
+
+    def test_locality_dominates(self, quads):
+        wl = ParsecWorkload(quads, profiles4(), seed=5)
+        net = FakeNetwork()
+        for cycle in range(4000):
+            wl.tick(cycle, net)
+        local = sum(1 for p in net.packets if not p.is_global)
+        assert local / len(net.packets) > 0.55
+
+    def test_app_attribution_matches_source_region(self, quads):
+        wl = ParsecWorkload(quads, profiles4(), seed=5)
+        net = FakeNetwork()
+        for cycle in range(500):
+            wl.tick(cycle, net)
+        for p in net.packets:
+            if p.vnet == 0:
+                assert quads.app_of(p.src) == p.app_id
+
+    def test_determinism(self, quads):
+        def run():
+            wl = ParsecWorkload(quads, profiles4(), seed=9)
+            net = FakeNetwork()
+            for cycle in range(400):
+                wl.tick(cycle, net)
+            return [(p.src, p.dst, p.inject_cycle) for p in net.packets]
+
+        assert run() == run()
+
+    def test_offered_rates(self, quads):
+        wl = ParsecWorkload(quads, profiles4(), seed=1)
+        rates = wl.offered_rates()
+        assert set(rates) == {0, 1, 2, 3}
+        assert rates[3] > rates[0]

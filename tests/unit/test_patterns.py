@@ -1,0 +1,149 @@
+"""Unit tests for traffic patterns."""
+
+import numpy as np
+import pytest
+
+from repro.core.regions import RegionMap
+from repro.noc.topology import MeshTopology
+from repro.traffic.patterns import (
+    BitComplementPattern,
+    HotspotPattern,
+    OutOfRegionPattern,
+    TransposePattern,
+    UniformPattern,
+    make_pattern,
+)
+from repro.util.errors import TrafficError
+
+
+@pytest.fixture
+def topo():
+    return MeshTopology(8, 8)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(3)
+
+
+class TestUniform:
+    def test_never_returns_src(self, topo, rng):
+        pattern = UniformPattern(topo)
+        for src in (0, 27, 63):
+            for _ in range(50):
+                assert pattern(rng, src) != src
+
+    def test_restricted_node_set(self, topo, rng):
+        allowed = [1, 2, 3]
+        pattern = UniformPattern(topo, nodes=allowed)
+        seen = {pattern(rng, 0) for _ in range(100)}
+        assert seen == set(allowed)
+
+    def test_empty_set_rejected(self, topo):
+        with pytest.raises(TrafficError):
+            UniformPattern(topo, nodes=[])
+
+    def test_single_node_with_exclusion_rejected(self, topo):
+        with pytest.raises(TrafficError):
+            UniformPattern(topo, nodes=[5])
+
+    def test_covers_whole_set(self, topo, rng):
+        pattern = UniformPattern(topo, nodes=range(8))
+        seen = {pattern(rng, 63) for _ in range(400)}
+        assert seen == set(range(8))
+
+
+class TestTranspose:
+    def test_transpose_mapping(self, topo, rng):
+        pattern = TransposePattern(topo)
+        src = topo.node_at(2, 5)
+        assert pattern(rng, src) == topo.node_at(5, 2)
+
+    def test_diagonal_maps_to_self(self, topo, rng):
+        pattern = TransposePattern(topo)
+        src = topo.node_at(3, 3)
+        assert pattern(rng, src) == src
+
+    def test_requires_square_mesh(self):
+        with pytest.raises(TrafficError):
+            TransposePattern(MeshTopology(4, 8))
+
+    def test_is_involution(self, topo, rng):
+        pattern = TransposePattern(topo)
+        for src in range(topo.num_nodes):
+            assert pattern(rng, pattern(rng, src)) == src
+
+
+class TestBitComplement:
+    def test_mapping(self, topo, rng):
+        pattern = BitComplementPattern(topo)
+        assert pattern(rng, topo.node_at(0, 0)) == topo.node_at(7, 7)
+        assert pattern(rng, topo.node_at(2, 5)) == topo.node_at(5, 2)
+
+    def test_is_involution_and_fixed_point_free(self, topo, rng):
+        pattern = BitComplementPattern(topo)
+        for src in range(topo.num_nodes):
+            dst = pattern(rng, src)
+            assert dst != src  # even-sized mesh has no fixed point
+            assert pattern(rng, dst) == src
+
+
+class TestHotspot:
+    def test_defaults_to_corners(self, topo, rng):
+        pattern = HotspotPattern(topo, hot_prob=1.0)
+        seen = {pattern(rng, 30) for _ in range(200)}
+        assert seen <= set(topo.corner_nodes())
+
+    def test_zero_prob_is_background(self, topo, rng):
+        pattern = HotspotPattern(topo, hot_prob=0.0)
+        seen = {pattern(rng, 0) for _ in range(300)}
+        assert len(seen) > 10  # spread out, not only corners
+
+    def test_validates_prob(self, topo):
+        with pytest.raises(TrafficError):
+            HotspotPattern(topo, hot_prob=1.5)
+
+    def test_requires_hotspots(self, topo):
+        with pytest.raises(TrafficError):
+            HotspotPattern(topo, hotspots=[])
+
+    def test_hotspot_equal_to_src_falls_back(self, topo, rng):
+        pattern = HotspotPattern(topo, hotspots=[5], hot_prob=1.0)
+        for _ in range(50):
+            assert pattern(rng, 5) != 5
+
+
+class TestOutOfRegion:
+    def test_destinations_leave_region(self, topo, rng):
+        rm = RegionMap.halves(topo)
+        pattern = OutOfRegionPattern(UniformPattern(topo), rm)
+        for src in rm.nodes_of(0):
+            for _ in range(10):
+                dst = pattern(rng, src)
+                assert rm.app_of(dst) != 0
+
+    def test_deterministic_base_fallback(self, topo, rng):
+        # Transpose keeps diagonal nodes in their own quadrant; wrapper
+        # must still emit an external destination.
+        rm = RegionMap.quadrants(topo)
+        pattern = OutOfRegionPattern(TransposePattern(topo), rm)
+        src = topo.node_at(1, 1)  # diagonal, maps to itself
+        for _ in range(20):
+            assert rm.app_of(pattern(rng, src)) != rm.app_of(src)
+
+    def test_whole_chip_region_rejected(self, topo):
+        rm = RegionMap.single(topo)
+        with pytest.raises(TrafficError):
+            OutOfRegionPattern(UniformPattern(topo), rm)
+
+
+class TestFactory:
+    def test_names(self, topo):
+        assert isinstance(make_pattern("ur", topo), UniformPattern)
+        assert isinstance(make_pattern("tp", topo), TransposePattern)
+        assert isinstance(make_pattern("bc", topo), BitComplementPattern)
+        assert isinstance(make_pattern("hs", topo), HotspotPattern)
+
+    def test_unknown(self, topo):
+        with pytest.raises(TrafficError):
+            make_pattern("zigzag", topo)

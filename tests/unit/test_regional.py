@@ -1,0 +1,105 @@
+"""Unit tests for the regionalized per-application traffic source."""
+
+import numpy as np
+import pytest
+
+from repro.core.regions import RegionMap
+from repro.noc.topology import MeshTopology
+from repro.traffic.patterns import UniformPattern
+from repro.traffic.regional import RegionalAppTraffic
+from repro.util.errors import TrafficError
+
+
+class FakeNetwork:
+    def __init__(self):
+        self.packets = []
+
+    def inject(self, pkt):
+        self.packets.append(pkt)
+
+
+@pytest.fixture
+def quads():
+    return RegionMap.quadrants(MeshTopology(8, 8))
+
+
+def make(quads, app=0, **kw):
+    defaults = dict(rate=0.3, seed=7)
+    defaults.update(kw)
+    return RegionalAppTraffic(quads, app, **defaults)
+
+
+def generate(source, cycles=600):
+    net = FakeNetwork()
+    for cycle in range(cycles):
+        source.tick(cycle, net)
+    return net.packets
+
+
+class TestValidation:
+    def test_fractions_must_sum_to_one(self, quads):
+        with pytest.raises(TrafficError, match="sum to 1"):
+            make(quads, intra_fraction=0.5, inter_fraction=0.2, mc_fraction=0.0)
+
+    def test_unknown_app_rejected(self, quads):
+        with pytest.raises(TrafficError):
+            make(quads, app=9)
+
+
+class TestComposition:
+    def test_component_fractions_realized(self, quads):
+        src = make(quads, intra_fraction=0.6, inter_fraction=0.3, mc_fraction=0.1)
+        packets = generate(src, 1500)
+        assert len(packets) > 500
+        own = set(quads.nodes_of(0))
+        mcs = set(src.mc_nodes.tolist())
+        intra = sum(1 for p in packets if p.src in own and p.dst in own)
+        frac = intra / len(packets)
+        assert 0.5 < frac < 0.7  # ~0.6 minus the occasional resample
+
+    def test_pure_intra_never_leaves_region(self, quads):
+        src = make(quads, intra_fraction=1.0, inter_fraction=0.0, mc_fraction=0.0)
+        own = set(quads.nodes_of(0))
+        for p in generate(src):
+            assert p.src in own and p.dst in own
+            assert not p.is_global
+
+    def test_inter_component_always_leaves_region(self, quads):
+        src = make(quads, intra_fraction=0.0, inter_fraction=1.0, mc_fraction=0.0)
+        own = set(quads.nodes_of(0))
+        packets = generate(src)
+        assert packets
+        for p in packets:
+            assert p.src in own
+            assert p.dst not in own
+            assert p.is_global
+
+    def test_mc_component_touches_corners_both_ways(self, quads):
+        src = make(quads, intra_fraction=0.0, inter_fraction=0.0, mc_fraction=1.0)
+        corners = set(src.mc_nodes.tolist())
+        packets = generate(src, 1200)
+        to_mc = [p for p in packets if p.dst in corners]
+        from_mc = [p for p in packets if p.src in corners]
+        assert to_mc and from_mc  # "to and from the 4 corner nodes"
+        # Both directions are attributed to the owning application.
+        assert all(p.app_id == 0 for p in packets)
+
+    def test_custom_inter_pattern_respected(self, quads):
+        target = UniformPattern(quads.topology, quads.nodes_of(3))
+        src = make(
+            quads, intra_fraction=0.0, inter_fraction=1.0, mc_fraction=0.0,
+            inter_pattern=target,
+        )
+        region3 = set(quads.nodes_of(3))
+        for p in generate(src):
+            assert p.dst in region3
+
+    def test_app_tagging(self, quads):
+        src = make(quads, app=2)
+        assert all(p.app_id == 2 for p in generate(src))
+
+    def test_offered_rate_matches_config(self, quads):
+        src = make(quads, rate=0.24)
+        generate(src, 3000)
+        offered = src.flits_injected / (3000 * len(quads.nodes_of(0)))
+        assert offered == pytest.approx(0.24, rel=0.08)

@@ -1,0 +1,96 @@
+"""Unit tests for statistics collection."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.noc.flit import Packet
+from repro.noc.stats import LatencyStats, NetworkStats
+
+
+def eject(stats, src=0, dst=1, app=0, inject=0, eject_cycle=10, length=1,
+          is_global=False, adversarial=False):
+    pkt = Packet(
+        src=src, dst=dst, length=length, inject_cycle=inject, app_id=app,
+        is_global=is_global, is_adversarial=adversarial,
+    )
+    stats.record_ejection(pkt, eject_cycle)
+
+
+class TestLatencyStats:
+    def test_empty_gives_nans(self):
+        summary = LatencyStats.from_samples(np.array([]))
+        assert summary.count == 0
+        assert math.isnan(summary.mean)
+
+    def test_summary_values(self):
+        summary = LatencyStats.from_samples(np.arange(1, 101, dtype=float))
+        assert summary.count == 100
+        assert summary.mean == pytest.approx(50.5)
+        assert summary.median == pytest.approx(50.5)
+        assert summary.p95 == pytest.approx(95.05)
+        assert summary.max == 100
+
+
+class TestNetworkStats:
+    def test_apl(self):
+        stats = NetworkStats()
+        eject(stats, inject=0, eject_cycle=10)
+        eject(stats, inject=5, eject_cycle=25)
+        assert stats.apl() == pytest.approx(15.0)
+        assert stats.packets_ejected == 2
+
+    def test_window_filters_on_injection_cycle(self):
+        stats = NetworkStats()
+        eject(stats, inject=5, eject_cycle=100)
+        eject(stats, inject=50, eject_cycle=60)
+        assert stats.apl(window=(0, 10)) == pytest.approx(95.0)
+        assert stats.apl(window=(40, 60)) == pytest.approx(10.0)
+        assert stats.packet_count(window=(0, 60)) == 2
+
+    def test_per_app_breakdown(self):
+        stats = NetworkStats()
+        eject(stats, app=0, inject=0, eject_cycle=10)
+        eject(stats, app=1, inject=0, eject_cycle=30)
+        assert stats.per_app_apl() == {0: 10.0, 1: 30.0}
+        assert stats.apps() == [0, 1]
+
+    def test_adversarial_excluded_by_default(self):
+        stats = NetworkStats()
+        eject(stats, inject=0, eject_cycle=10)
+        eject(stats, inject=0, eject_cycle=1000, adversarial=True)
+        assert stats.apl() == pytest.approx(10.0)
+        assert stats.apl(include_adversarial=True) == pytest.approx(505.0)
+
+    def test_global_filter(self):
+        stats = NetworkStats()
+        eject(stats, inject=0, eject_cycle=10, is_global=False)
+        eject(stats, inject=0, eject_cycle=40, is_global=True)
+        assert stats.apl(only_global=True) == pytest.approx(40.0)
+        assert stats.apl(only_global=False) == pytest.approx(10.0)
+
+    def test_apl_of_empty_filter_is_nan(self):
+        stats = NetworkStats()
+        eject(stats, app=0)
+        assert math.isnan(stats.apl(app=3))
+
+    def test_throughput_counts_flits_by_ejection(self):
+        stats = NetworkStats()
+        eject(stats, inject=0, eject_cycle=10, length=5)
+        eject(stats, inject=0, eject_cycle=15, length=1)
+        eject(stats, inject=0, eject_cycle=100, length=5)
+        assert stats.throughput_flits(window=(0, 20)) == pytest.approx(6 / 20)
+
+    def test_arrays_cache_invalidated_on_record(self):
+        stats = NetworkStats()
+        eject(stats, inject=0, eject_cycle=10)
+        assert stats.apl() == 10.0
+        eject(stats, inject=0, eject_cycle=30)
+        assert stats.apl() == 20.0
+
+    def test_per_app_excludes_unattributed(self):
+        stats = NetworkStats()
+        eject(stats, app=-1)
+        eject(stats, app=2)
+        assert list(stats.per_app_apl()) == [2]

@@ -1,0 +1,77 @@
+"""Unit tests for steady-state detection."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.scenarios import two_app_msp
+from repro.experiments.steady_state import (
+    converged_after,
+    suggest_warmup,
+    window_means,
+)
+from repro.util.errors import ConfigError
+
+
+class TestWindowMeans:
+    def test_basic_grouping(self):
+        inject = [0, 5, 10, 15, 20]
+        lat = [10.0, 20.0, 30.0, 40.0, 50.0]
+        starts, means = window_means(inject, lat, window=10)
+        assert list(starts) == [0, 10, 20]
+        assert list(means) == [15.0, 35.0, 50.0]
+
+    def test_empty_input(self):
+        starts, means = window_means([], [], window=10)
+        assert len(starts) == 0 and len(means) == 0
+
+    def test_skips_empty_windows(self):
+        starts, means = window_means([0, 100], [1.0, 2.0], window=10)
+        assert list(starts) == [0, 100]
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            window_means([0], [1.0], window=0)
+        with pytest.raises(ConfigError):
+            window_means([0, 1], [1.0], window=10)
+
+    def test_unsorted_input_allowed(self):
+        starts, means = window_means([15, 0, 5], [40.0, 10.0, 20.0], window=10)
+        assert list(starts) == [0, 10]
+        assert list(means) == [15.0, 40.0]
+
+
+class TestConvergedAfter:
+    def test_flat_series_converges_immediately(self):
+        means = np.full(10, 25.0)
+        assert converged_after(means) == 0
+
+    def test_ramp_then_flat(self):
+        means = np.concatenate([np.linspace(10, 50, 8), np.full(8, 50.0)])
+        idx = converged_after(means, tolerance=0.05)
+        assert idx is not None and idx >= 6
+
+    def test_never_converges(self):
+        means = np.linspace(10, 1000, 20)  # unstable growth
+        assert converged_after(means, tolerance=0.02) is None
+
+    def test_tolerance_validated(self):
+        with pytest.raises(ConfigError):
+            converged_after(np.ones(5), tolerance=0)
+
+    def test_short_series(self):
+        assert converged_after(np.asarray([1.0, 1.0]), lookahead=3) is None
+
+
+class TestSuggestWarmup:
+    def test_light_load_settles_quickly(self):
+        scenario = two_app_msp(0.2)
+        warmup = suggest_warmup(scenario, probe_cycles=2500, window=250)
+        assert 0 < warmup <= 2500
+
+    def test_returns_probe_length_when_unsettled(self):
+        # A pathological tolerance that can never be met.
+        scenario = two_app_msp(0.2)
+        warmup = suggest_warmup(
+            scenario, probe_cycles=1500, window=250, tolerance=1e-9
+        )
+        assert warmup == 1500

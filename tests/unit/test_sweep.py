@@ -1,0 +1,72 @@
+"""Unit tests for seed-replicated sweeps and confidence intervals."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.runner import SCHEMES, Effort
+from repro.experiments.scenarios import two_app_msp
+from repro.experiments.sweep import SweepResult, compare_schemes, replicate
+from repro.util.errors import ConfigError
+
+
+class TestSweepResult:
+    def test_basic_stats(self):
+        r = SweepResult("x", [10.0, 12.0, 14.0])
+        assert r.n == 3
+        assert r.mean == pytest.approx(12.0)
+        assert r.std_error == pytest.approx(2.0 / np.sqrt(3))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            SweepResult("x", [])
+
+    def test_ci_contains_mean_and_widens_with_level(self):
+        r = SweepResult("x", [10.0, 12.0, 14.0, 16.0])
+        lo95, hi95 = r.confidence_interval(0.95)
+        lo99, hi99 = r.confidence_interval(0.99)
+        assert lo95 < r.mean < hi95
+        assert lo99 < lo95 and hi99 > hi95
+
+    def test_single_sample_ci_degenerates(self):
+        r = SweepResult("x", [5.0])
+        assert r.confidence_interval() == (5.0, 5.0)
+        assert np.isnan(r.std_error)
+
+    def test_level_validated(self):
+        r = SweepResult("x", [1.0, 2.0])
+        with pytest.raises(ConfigError):
+            r.confidence_interval(1.5)
+
+    def test_excludes_zero(self):
+        assert SweepResult("x", [5.0, 5.1, 4.9]).excludes_zero()
+        assert not SweepResult("x", [-1.0, 1.0, -0.5, 0.5]).excludes_zero()
+
+
+class TestReplicate:
+    def test_needs_seeds(self):
+        with pytest.raises(ConfigError):
+            replicate(SCHEMES["RO_RR"], two_app_msp(0.5), seeds=[])
+
+    def test_samples_per_app(self):
+        result = replicate(
+            SCHEMES["RO_RR"], two_app_msp(0.5), seeds=[1, 2], effort=Effort.SMOKE
+        )
+        assert set(result) == {-1, 0, 1}
+        assert result[0].n == 2
+        # Different seeds give different APLs.
+        assert result[0].samples[0] != result[0].samples[1]
+
+
+class TestCompareSchemes:
+    def test_paired_comparison(self):
+        fig = compare_schemes(
+            two_app_msp(1.0),
+            schemes=[SCHEMES["RA_RAIR"]],
+            baseline=SCHEMES["RO_RR"],
+            seeds=[1, 2],
+            effort=Effort.SMOKE,
+        )
+        row = fig.row_by(scheme="RA_RAIR")
+        assert row["n"] == 2
+        assert row["ci_lo"] <= row["red_mean"] <= row["ci_hi"]
+        assert "Sweep" in fig.format_table()

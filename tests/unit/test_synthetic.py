@@ -1,0 +1,138 @@
+"""Unit tests for synthetic traffic sources."""
+
+import numpy as np
+import pytest
+
+from repro.core.regions import RegionMap
+from repro.noc.topology import MeshTopology
+from repro.traffic.patterns import UniformPattern
+from repro.traffic.synthetic import BimodalLengths, FixedLength, SyntheticTrafficSource
+from repro.util.errors import TrafficError
+
+
+class FakeNetwork:
+    def __init__(self):
+        self.packets = []
+
+    def inject(self, pkt):
+        self.packets.append(pkt)
+
+
+@pytest.fixture
+def topo():
+    return MeshTopology(4, 4)
+
+
+def make_source(topo, **kw):
+    defaults = dict(
+        nodes=range(topo.num_nodes),
+        rate=0.3,
+        pattern=UniformPattern(topo),
+        app_id=0,
+        seed=9,
+        lengths=FixedLength(1),
+    )
+    defaults.update(kw)
+    return SyntheticTrafficSource(**defaults)
+
+
+class TestLengthSamplers:
+    def test_bimodal_mean(self):
+        assert BimodalLengths().mean == pytest.approx(3.0)
+        assert BimodalLengths(p_short=1.0).mean == 1.0
+
+    def test_bimodal_values(self):
+        rng = np.random.default_rng(0)
+        sampler = BimodalLengths()
+        values = {sampler(rng) for _ in range(100)}
+        assert values == {1, 5}
+
+    def test_bimodal_validation(self):
+        with pytest.raises(TrafficError):
+            BimodalLengths(short=0)
+        with pytest.raises(TrafficError):
+            BimodalLengths(p_short=2.0)
+
+    def test_fixed(self):
+        rng = np.random.default_rng(0)
+        sampler = FixedLength(5)
+        assert sampler.mean == 5.0
+        assert sampler(rng) == 5
+        with pytest.raises(TrafficError):
+            FixedLength(0)
+
+
+class TestSource:
+    def test_rate_conversion_uses_mean_length(self, topo):
+        src = make_source(topo, rate=0.3, lengths=BimodalLengths())
+        assert src.p_packet == pytest.approx(0.1)
+
+    def test_rejects_impossible_rate(self, topo):
+        with pytest.raises(TrafficError):
+            make_source(topo, rate=1.5, lengths=FixedLength(1))
+
+    def test_rejects_negative_rate(self, topo):
+        with pytest.raises(TrafficError):
+            make_source(topo, rate=-0.1)
+
+    def test_rejects_empty_nodes(self, topo):
+        with pytest.raises(TrafficError):
+            make_source(topo, nodes=[])
+
+    def test_offered_load_statistics(self, topo):
+        net = FakeNetwork()
+        src = make_source(topo, rate=0.25)
+        for cycle in range(4000):
+            src.tick(cycle, net)
+        # 16 nodes * 4000 cycles * 0.25 flits = 16000 expected flits.
+        expected = 16 * 4000 * 0.25
+        assert src.flits_injected == pytest.approx(expected, rel=0.05)
+        assert src.packets_injected == len(net.packets)
+
+    def test_zero_rate_injects_nothing(self, topo):
+        net = FakeNetwork()
+        src = make_source(topo, rate=0.0)
+        for cycle in range(100):
+            src.tick(cycle, net)
+        assert not net.packets
+
+    def test_start_stop_window(self, topo):
+        net = FakeNetwork()
+        src = make_source(topo, rate=0.5, start=10, stop=20)
+        for cycle in range(40):
+            src.tick(cycle, net)
+        assert net.packets
+        assert all(10 <= p.inject_cycle < 20 for p in net.packets)
+
+    def test_determinism(self, topo):
+        a, b = FakeNetwork(), FakeNetwork()
+        for net in (a, b):
+            src = make_source(topo, seed=77)
+            for cycle in range(200):
+                src.tick(cycle, net)
+        assert [(p.src, p.dst, p.inject_cycle) for p in a.packets] == [
+            (p.src, p.dst, p.inject_cycle) for p in b.packets
+        ]
+
+    def test_global_flag_from_region_map(self, topo):
+        rm = RegionMap.halves(topo)
+        net = FakeNetwork()
+        src = make_source(topo, region_map=rm, rate=0.5)
+        for cycle in range(200):
+            src.tick(cycle, net)
+        for p in net.packets:
+            assert p.is_global == (rm.app_of(p.src) != rm.app_of(p.dst))
+
+    def test_app_and_vnet_tagging(self, topo):
+        net = FakeNetwork()
+        src = make_source(topo, app_id=4, vnet=0, rate=0.5)
+        for cycle in range(50):
+            src.tick(cycle, net)
+        assert all(p.app_id == 4 and p.vnet == 0 for p in net.packets)
+
+    def test_adversarial_flag(self, topo):
+        net = FakeNetwork()
+        src = make_source(topo, adversarial=True, rate=0.5)
+        for cycle in range(50):
+            src.tick(cycle, net)
+        assert net.packets and all(p.is_adversarial for p in net.packets)

@@ -1,0 +1,73 @@
+"""Unit tests for util: errors, rng, validation."""
+
+import numpy as np
+import pytest
+
+from repro.util.errors import ConfigError, ReproError, SimulationError, TrafficError
+from repro.util.rng import make_rng, spawn_rngs
+from repro.util.validate import check_fraction, check_in, check_positive, require
+
+
+class TestErrors:
+    def test_hierarchy(self):
+        assert issubclass(ConfigError, ReproError)
+        assert issubclass(SimulationError, ReproError)
+        assert issubclass(TrafficError, ReproError)
+
+    def test_config_error_is_value_error(self):
+        # Callers used to ValueError semantics keep working.
+        assert issubclass(ConfigError, ValueError)
+
+    def test_simulation_error_is_runtime_error(self):
+        assert issubclass(SimulationError, RuntimeError)
+
+
+class TestRng:
+    def test_int_seed_reproducible(self):
+        a, b = make_rng(123), make_rng(123)
+        assert a.random() == b.random()
+
+    def test_generator_passthrough(self):
+        g = np.random.default_rng(5)
+        assert make_rng(g) is g
+
+    def test_spawn_streams_differ(self):
+        rngs = spawn_rngs(7, 4)
+        firsts = [r.random() for r in rngs]
+        assert len(set(firsts)) == 4
+
+    def test_spawn_is_stable(self):
+        a = [r.random() for r in spawn_rngs(7, 3)]
+        b = [r.random() for r in spawn_rngs(7, 3)]
+        assert a == b
+
+    def test_spawn_rejects_negative_count(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(1, -1)
+
+
+class TestValidate:
+    def test_require(self):
+        require(True, "fine")
+        with pytest.raises(ConfigError, match="broken"):
+            require(False, "broken")
+
+    def test_check_positive(self):
+        check_positive(1e-9, "x")
+        with pytest.raises(ConfigError):
+            check_positive(0, "x")
+        with pytest.raises(ConfigError):
+            check_positive(-1, "x")
+
+    def test_check_fraction(self):
+        check_fraction(0.0, "f")
+        check_fraction(1.0, "f")
+        with pytest.raises(ConfigError):
+            check_fraction(1.01, "f")
+        with pytest.raises(ConfigError):
+            check_fraction(-0.01, "f")
+
+    def test_check_in(self):
+        check_in("a", {"a", "b"}, "opt")
+        with pytest.raises(ConfigError):
+            check_in("c", {"a", "b"}, "opt")
