@@ -23,6 +23,8 @@ E-A2   :mod:`repro.experiments.ablation_vcsplit`     regional:global VC split
 ====== =====================================  ==============================
 """
 
+from repro.experiments.cache import ResultCache, cache_key
+from repro.experiments.parallel import Cell, ExecutionReport, run_cells
 from repro.experiments.runner import (
     Effort,
     FigureResult,
@@ -32,6 +34,7 @@ from repro.experiments.runner import (
     run_scenario,
 )
 from repro.experiments.saturation_table import saturation_load
+from repro.experiments.scenarios import ScenarioSpec
 from repro.experiments.sweep import SweepResult, compare_schemes, replicate
 
 __all__ = [
@@ -40,9 +43,15 @@ __all__ = [
     "Scheme",
     "SCHEMES",
     "ScenarioRun",
+    "ScenarioSpec",
     "run_scenario",
     "saturation_load",
     "SweepResult",
     "replicate",
     "compare_schemes",
+    "Cell",
+    "ExecutionReport",
+    "run_cells",
+    "ResultCache",
+    "cache_key",
 ]

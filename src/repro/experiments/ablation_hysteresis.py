@@ -10,8 +10,9 @@ show the cost of reacting to every transient VC-occupancy flip.
 from __future__ import annotations
 
 from repro.core.dpa import DpaConfig
+from repro.experiments.parallel import Cell, run_cells
 from repro.experiments.report import effort_argparser, parse_effort
-from repro.experiments.runner import SCHEMES, Effort, FigureResult, run_scenario
+from repro.experiments.runner import SCHEMES, Effort, FigureResult
 from repro.experiments.scenarios import six_app
 
 __all__ = ["run", "main", "DELTAS"]
@@ -19,20 +20,30 @@ __all__ = ["run", "main", "DELTAS"]
 DELTAS = (0.0, 0.1, 0.2, 0.3, 0.4)
 
 
-def run(effort: Effort = Effort.MEDIUM, seed: int = 42, deltas=DELTAS) -> FigureResult:
+def run(
+    effort: Effort = Effort.MEDIUM,
+    seed: int = 42,
+    deltas=DELTAS,
+    jobs: int = 1,
+    cache=None,
+) -> FigureResult:
     """One row per hysteresis delta."""
     scenario = six_app()
-    base = run_scenario(SCHEMES["RO_RR"], scenario, effort=effort, seed=seed)
-    apps = sorted(base.per_app_apl)
-    rows = []
-    for delta in deltas:
-        res = run_scenario(
+    cells = [Cell.for_scenario(SCHEMES["RO_RR"], scenario, effort, seed)] + [
+        Cell.for_scenario(
             SCHEMES["RA_RAIR"],
             scenario,
-            effort=effort,
-            seed=seed,
+            effort,
+            seed,
             policy_overrides={"dpa": DpaConfig(delta=delta)},
         )
+        for delta in deltas
+    ]
+    runs, report = run_cells(cells, jobs=jobs, cache=cache)
+    base, delta_runs = runs[0], runs[1:]
+    apps = sorted(base.per_app_apl)
+    rows = []
+    for delta, res in zip(deltas, delta_runs):
         reds = [res.reduction_vs(base, app=app) for app in apps]
         rows.append(
             {
@@ -43,6 +54,7 @@ def run(effort: Effort = Effort.MEDIUM, seed: int = 42, deltas=DELTAS) -> Figure
             }
         )
     return FigureResult(
+        metrics=report.to_metrics(),
         figure="Ablation A1",
         title="DPA hysteresis delta sweep (six-app scenario, reduction vs RO_RR)",
         columns=["delta", "red_avg", "apl", "drained"],
@@ -57,7 +69,14 @@ def run(effort: Effort = Effort.MEDIUM, seed: int = 42, deltas=DELTAS) -> Figure
 def main(argv=None) -> None:
     """CLI: python -m repro.experiments.ablation_hysteresis [--effort fast]"""
     args = effort_argparser(__doc__).parse_args(argv)
-    print(run(effort=parse_effort(args.effort), seed=args.seed).format_table())
+    print(
+        run(
+            effort=parse_effort(args.effort),
+            seed=args.seed,
+            jobs=args.jobs,
+            cache=args.cache,
+        ).format_table()
+    )
 
 
 if __name__ == "__main__":

@@ -11,8 +11,9 @@ gain and App1 cost over RO_RR *under the same routing*.
 
 from __future__ import annotations
 
+from repro.experiments.parallel import Cell, run_cells
 from repro.experiments.report import effort_argparser, parse_effort
-from repro.experiments.runner import Effort, FigureResult, Scheme, run_scenario
+from repro.experiments.runner import Effort, FigureResult, Scheme
 from repro.experiments.scenarios import two_app_msp
 
 __all__ = ["run", "main", "ROUTINGS"]
@@ -20,17 +21,27 @@ __all__ = ["run", "main", "ROUTINGS"]
 ROUTINGS = ("xy", "west_first", "odd_even", "local", "dbar")
 
 
-def run(effort: Effort = Effort.MEDIUM, seed: int = 42, routings=ROUTINGS) -> FigureResult:
+def run(
+    effort: Effort = Effort.MEDIUM,
+    seed: int = 42,
+    routings=ROUTINGS,
+    jobs: int = 1,
+    cache=None,
+) -> FigureResult:
     """One row per routing algorithm; reductions are RAIR vs RO_RR."""
     scenario = two_app_msp(1.0)
+    cells = [
+        Cell.for_scenario(Scheme(f"{prefix}_{routing}", policy, routing),
+                          scenario, effort, seed)
+        for routing in routings
+        for prefix, policy in (("RO_RR", "rr"), ("RAIR", "rair"))
+    ]
+    runs, report = run_cells(cells, jobs=jobs, cache=cache)
+    results = iter(runs)
     rows = []
     for routing in routings:
-        base = run_scenario(
-            Scheme(f"RO_RR_{routing}", "rr", routing), scenario, effort=effort, seed=seed
-        )
-        rair = run_scenario(
-            Scheme(f"RAIR_{routing}", "rair", routing), scenario, effort=effort, seed=seed
-        )
+        base = next(results)
+        rair = next(results)
         rows.append(
             {
                 "routing": routing,
@@ -42,6 +53,7 @@ def run(effort: Effort = Effort.MEDIUM, seed: int = 42, routings=ROUTINGS) -> Fi
             }
         )
     return FigureResult(
+        metrics=report.to_metrics(),
         figure="Ablation A3",
         title="RAIR gain under different deadlock-free routing algorithms "
         "(two-app scenario, p=100%)",
@@ -65,7 +77,14 @@ def run(effort: Effort = Effort.MEDIUM, seed: int = 42, routings=ROUTINGS) -> Fi
 def main(argv=None) -> None:
     """CLI: python -m repro.experiments.ablation_routing [--effort fast]"""
     args = effort_argparser(__doc__).parse_args(argv)
-    print(run(effort=parse_effort(args.effort), seed=args.seed).format_table())
+    print(
+        run(
+            effort=parse_effort(args.effort),
+            seed=args.seed,
+            jobs=args.jobs,
+            cache=args.cache,
+        ).format_table()
+    )
 
 
 if __name__ == "__main__":

@@ -12,8 +12,9 @@ from __future__ import annotations
 
 from dataclasses import replace
 
+from repro.experiments.parallel import Cell, run_cells
 from repro.experiments.report import effort_argparser, parse_effort
-from repro.experiments.runner import SCHEMES, Effort, FigureResult, run_scenario
+from repro.experiments.runner import SCHEMES, Effort, FigureResult
 from repro.experiments.scenarios import six_app
 from repro.noc.config import NocConfig, VcClass
 
@@ -30,14 +31,26 @@ SPLITS = (
 )
 
 
-def run(effort: Effort = Effort.MEDIUM, seed: int = 42, splits=SPLITS) -> FigureResult:
+def run(
+    effort: Effort = Effort.MEDIUM,
+    seed: int = 42,
+    splits=SPLITS,
+    jobs: int = 1,
+    cache=None,
+) -> FigureResult:
     """One row per VC split; reductions are vs RO_RR on the same config."""
-    rows = []
+    cells = []
     for label, classes in splits:
         cfg = replace(NocConfig(), vc_classes=classes)
         scenario = six_app(config=cfg)
-        base = run_scenario(SCHEMES["RO_RR"], scenario, effort=effort, seed=seed)
-        res = run_scenario(SCHEMES["RA_RAIR"], scenario, effort=effort, seed=seed)
+        cells.append(Cell.for_scenario(SCHEMES["RO_RR"], scenario, effort, seed))
+        cells.append(Cell.for_scenario(SCHEMES["RA_RAIR"], scenario, effort, seed))
+    runs, report = run_cells(cells, jobs=jobs, cache=cache)
+    results = iter(runs)
+    rows = []
+    for label, classes in splits:
+        base = next(results)
+        res = next(results)
         apps = sorted(base.per_app_apl)
         reds = [res.reduction_vs(base, app=app) for app in apps]
         rows.append(
@@ -49,6 +62,7 @@ def run(effort: Effort = Effort.MEDIUM, seed: int = 42, splits=SPLITS) -> Figure
             }
         )
     return FigureResult(
+        metrics=report.to_metrics(),
         figure="Ablation A2",
         title="Global:regional VC split (six-app scenario, reduction vs RO_RR)",
         columns=["split", "red_avg", "apl", "drained"],
@@ -63,7 +77,14 @@ def run(effort: Effort = Effort.MEDIUM, seed: int = 42, splits=SPLITS) -> Figure
 def main(argv=None) -> None:
     """CLI: python -m repro.experiments.ablation_vcsplit [--effort fast]"""
     args = effort_argparser(__doc__).parse_args(argv)
-    print(run(effort=parse_effort(args.effort), seed=args.seed).format_table())
+    print(
+        run(
+            effort=parse_effort(args.effort),
+            seed=args.seed,
+            jobs=args.jobs,
+            cache=args.cache,
+        ).format_table()
+    )
 
 
 if __name__ == "__main__":

@@ -1,0 +1,190 @@
+"""Content-addressed on-disk cache for experiment cells.
+
+Every experiment cell — one ``(scheme, scenario, effort, seed)``
+simulation — is deterministic, so its :class:`~repro.experiments.runner.
+ScenarioRun` can be cached on disk and reused across figures, ablations,
+sweep replications, and repeated ``run_all`` invocations. The cache is
+*content-addressed*: the key is a SHA-256 over a canonical JSON encoding
+of everything that determines the result (``NocConfig``, ``DpaConfig``
+and any other policy kwargs, the scheme, the scenario's rebuild spec, the
+effort window, and the seed). Canonicalization makes the key
+
+* stable across process restarts (no reliance on ``hash()``/``id()``),
+* stable across dict insertion order (entries are sorted), and
+* distinct for any changed config field (every dataclass field is keyed
+  by name and included).
+
+Entries are JSON files named by their key, written atomically
+(temp file + ``os.replace``) so concurrent workers computing the same
+cell race benignly. Each entry embeds a checksum of its payload; a
+corrupted or truncated entry fails verification and reads as a miss, so
+the cell is recomputed rather than a bad result returned.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+import os
+import pathlib
+import tempfile
+
+from repro.experiments.runner import ScenarioRun
+from repro.noc.stats import RunMetrics
+
+__all__ = ["CACHE_VERSION", "canonicalize", "cache_key", "ResultCache"]
+
+#: Bump to invalidate every existing cache entry (key derivation or
+#: payload schema change).
+CACHE_VERSION = 1
+
+
+def canonicalize(obj):
+    """Reduce ``obj`` to a deterministic JSON-serializable structure.
+
+    Handles the types that appear in cell descriptions: scalars, lists and
+    tuples, dicts (sorted by canonicalized key, so insertion order never
+    matters), enums (by class, member name, and value) and dataclasses
+    (by class and per-field values, sorted by field name — *every* field
+    participates, including ones excluded from ``__eq__``).
+    """
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    if isinstance(obj, enum.Enum):
+        return ["enum", type(obj).__name__, obj.name, canonicalize(obj.value)]
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        fields = sorted(f.name for f in dataclasses.fields(obj))
+        return [
+            "dataclass",
+            type(obj).__name__,
+            [[name, canonicalize(getattr(obj, name))] for name in fields],
+        ]
+    if isinstance(obj, dict):
+        items = [[canonicalize(k), canonicalize(v)] for k, v in obj.items()]
+        items.sort(key=lambda kv: json.dumps(kv[0], sort_keys=True))
+        return ["dict", items]
+    if isinstance(obj, (list, tuple)):
+        return ["seq", [canonicalize(x) for x in obj]]
+    raise TypeError(
+        f"cannot canonicalize {type(obj).__name__!r} for cache keying: {obj!r}"
+    )
+
+
+def _digest(struct) -> str:
+    blob = json.dumps(struct, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def cache_key(cell) -> str:
+    """Stable content hash of one :class:`~repro.experiments.parallel.Cell`."""
+    return _digest(["cell", CACHE_VERSION, canonicalize(cell)])
+
+
+# -- ScenarioRun <-> JSON payload ------------------------------------------------
+
+
+def _run_to_payload(run: ScenarioRun) -> dict:
+    return {
+        "scheme": run.scheme,
+        "scenario": run.scenario,
+        "window": list(run.window),
+        "drained": run.drained,
+        "undrained_packets": run.undrained_packets,
+        "apl": run.apl,
+        "per_app_apl": {str(k): v for k, v in run.per_app_apl.items()},
+        "end_cycle": run.end_cycle,
+        "packets_measured": run.packets_measured,
+        "abort": run.abort,
+        "metrics": run.metrics.to_dict() if run.metrics is not None else None,
+    }
+
+
+def _run_from_payload(payload: dict) -> ScenarioRun:
+    metrics = payload["metrics"]
+    return ScenarioRun(
+        scheme=payload["scheme"],
+        scenario=payload["scenario"],
+        window=tuple(payload["window"]),
+        drained=payload["drained"],
+        undrained_packets=payload["undrained_packets"],
+        apl=payload["apl"],
+        per_app_apl={int(k): v for k, v in payload["per_app_apl"].items()},
+        end_cycle=payload["end_cycle"],
+        packets_measured=payload["packets_measured"],
+        abort=payload["abort"],
+        metrics=RunMetrics.from_dict(metrics) if metrics is not None else None,
+    )
+
+
+class ResultCache:
+    """On-disk store of finished cells, one JSON file per key.
+
+    Instances are cheap to construct (workers open their own); ``hits`` /
+    ``misses`` count this instance's lookups only — cross-process totals
+    are aggregated by :func:`repro.experiments.parallel.run_cells`.
+    """
+
+    def __init__(self, root: str | os.PathLike):
+        self.root = pathlib.Path(root)
+        self.hits = 0
+        self.misses = 0
+
+    def path_for(self, key: str) -> pathlib.Path:
+        """Entry path; two-level fan-out keeps directories small."""
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> ScenarioRun | None:
+        """Verified lookup: any parse/schema/checksum failure is a miss.
+
+        A detected-corrupt entry is deleted (best effort) so the caller's
+        recomputation can overwrite it cleanly.
+        """
+        path = self.path_for(key)
+        try:
+            entry = json.loads(path.read_text())
+            if entry["version"] != CACHE_VERSION or entry["key"] != key:
+                raise ValueError("stale or mismatched cache entry")
+            payload = entry["payload"]
+            if _digest(canonicalize(payload)) != entry["sha256"]:
+                raise ValueError("cache entry failed checksum")
+            run = _run_from_payload(payload)
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except Exception:
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            self.misses += 1
+            return None
+        self.hits += 1
+        return run
+
+    def put(self, key: str, run: ScenarioRun) -> None:
+        """Atomically persist ``run`` under ``key``."""
+        payload = _run_to_payload(run)
+        entry = {
+            "version": CACHE_VERSION,
+            "key": key,
+            "sha256": _digest(canonicalize(payload)),
+            "payload": payload,
+        }
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(entry, fh)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*/*.json"))

@@ -14,8 +14,9 @@ to App1 (<+3%); VA+SA beats VA across the sweep.
 
 from __future__ import annotations
 
+from repro.experiments.parallel import Cell, run_cells
 from repro.experiments.report import effort_argparser, parse_effort
-from repro.experiments.runner import SCHEMES, Effort, FigureResult, run_scenario
+from repro.experiments.runner import SCHEMES, Effort, FigureResult
 from repro.experiments.scenarios import two_app_msp
 
 __all__ = ["run", "main", "P_VALUES", "FIG9_SCHEMES"]
@@ -29,13 +30,21 @@ def run(
     seed: int = 42,
     p_values=P_VALUES,
     schemes=FIG9_SCHEMES,
+    jobs: int = 1,
+    cache=None,
 ) -> FigureResult:
     """Run the Fig. 9 sweep; one row per (p, scheme)."""
+    cells = [
+        Cell.for_scenario(SCHEMES[key], two_app_msp(p), effort, seed)
+        for p in p_values
+        for key in schemes
+    ]
+    runs, report = run_cells(cells, jobs=jobs, cache=cache)
+    results = iter(runs)
     rows = []
     for p in p_values:
-        scenario = two_app_msp(p)
         for key in schemes:
-            res = run_scenario(SCHEMES[key], scenario, effort=effort, seed=seed)
+            res = next(results)
             rows.append(
                 {
                     "p_inter": f"{p:.0%}",
@@ -46,6 +55,7 @@ def run(
                 }
             )
     return FigureResult(
+        metrics=report.to_metrics(),
         figure="Figure 9",
         title="APL of App0 (low, p% inter-region) and App1 (high, intra) per scheme",
         columns=["p_inter", "scheme", "apl_app0", "apl_app1", "drained"],
@@ -62,7 +72,14 @@ def run(
 def main(argv=None) -> None:
     """CLI: python -m repro.experiments.fig09_msp [--effort fast]"""
     args = effort_argparser(__doc__).parse_args(argv)
-    print(run(effort=parse_effort(args.effort), seed=args.seed).format_table())
+    print(
+        run(
+            effort=parse_effort(args.effort),
+            seed=args.seed,
+            jobs=args.jobs,
+            cache=args.cache,
+        ).format_table()
+    )
 
 
 if __name__ == "__main__":

@@ -15,8 +15,9 @@ gain than DBAR alone (RAIR_DBAR improves App0 by ~12.8% over RO_RR_DBAR).
 
 from __future__ import annotations
 
+from repro.experiments.parallel import Cell, run_cells
 from repro.experiments.report import effort_argparser, parse_effort
-from repro.experiments.runner import SCHEMES, Effort, FigureResult, run_scenario
+from repro.experiments.runner import SCHEMES, Effort, FigureResult
 from repro.experiments.scenarios import two_app_msp
 
 __all__ = ["run", "main", "FIG10_SCHEMES"]
@@ -30,13 +31,21 @@ def run(
     seed: int = 42,
     p_values=P_VALUES,
     schemes=FIG10_SCHEMES,
+    jobs: int = 1,
+    cache=None,
 ) -> FigureResult:
     """Run the Fig. 10 comparison; one row per (p, scheme)."""
+    cells = [
+        Cell.for_scenario(SCHEMES[key], two_app_msp(p), effort, seed)
+        for p in p_values
+        for key in schemes
+    ]
+    runs, report = run_cells(cells, jobs=jobs, cache=cache)
+    results = iter(runs)
     rows = []
     for p in p_values:
-        scenario = two_app_msp(p)
         for key in schemes:
-            res = run_scenario(SCHEMES[key], scenario, effort=effort, seed=seed)
+            res = next(results)
             rows.append(
                 {
                     "p_inter": f"{p:.0%}",
@@ -47,6 +56,7 @@ def run(
                 }
             )
     return FigureResult(
+        metrics=report.to_metrics(),
         figure="Figure 10",
         title="APL per routing algorithm (two-app scenario)",
         columns=["p_inter", "scheme", "apl_app0", "apl_app1", "drained"],
@@ -62,7 +72,14 @@ def run(
 def main(argv=None) -> None:
     """CLI: python -m repro.experiments.fig10_routing [--effort fast]"""
     args = effort_argparser(__doc__).parse_args(argv)
-    print(run(effort=parse_effort(args.effort), seed=args.seed).format_table())
+    print(
+        run(
+            effort=parse_effort(args.effort),
+            seed=args.seed,
+            jobs=args.jobs,
+            cache=args.cache,
+        ).format_table()
+    )
 
 
 if __name__ == "__main__":

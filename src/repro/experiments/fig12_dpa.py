@@ -15,8 +15,9 @@ slightly beat) the better static variant in each scenario (paper:
 
 from __future__ import annotations
 
+from repro.experiments.parallel import Cell, run_cells
 from repro.experiments.report import effort_argparser, parse_effort
-from repro.experiments.runner import SCHEMES, Effort, FigureResult, run_scenario
+from repro.experiments.runner import SCHEMES, Effort, FigureResult
 from repro.experiments.scenarios import four_app_dpa
 
 __all__ = ["run", "main", "FIG12_SCHEMES"]
@@ -29,14 +30,22 @@ def run(
     seed: int = 42,
     variants=("a", "b"),
     schemes=FIG12_SCHEMES,
+    jobs: int = 1,
+    cache=None,
 ) -> FigureResult:
     """Run both Fig. 12 scenarios; rows carry per-app reduction vs RO_RR."""
+    cells = [
+        Cell.for_scenario(SCHEMES[key], four_app_dpa(variant), effort, seed)
+        for variant in variants
+        for key in ("RO_RR",) + tuple(schemes)
+    ]
+    runs, report = run_cells(cells, jobs=jobs, cache=cache)
+    results = iter(runs)
     rows = []
     for variant in variants:
-        scenario = four_app_dpa(variant)
-        base = run_scenario(SCHEMES["RO_RR"], scenario, effort=effort, seed=seed)
+        base = next(results)
         for key in schemes:
-            res = run_scenario(SCHEMES[key], scenario, effort=effort, seed=seed)
+            res = next(results)
             apps = sorted(base.per_app_apl)
             reductions = {
                 f"red_app{app}": res.reduction_vs(base, app=app) for app in apps
@@ -56,6 +65,7 @@ def run(
         "drained",
     ]
     return FigureResult(
+        metrics=report.to_metrics(),
         figure="Figure 12",
         title="APL reduction vs RO_RR (positive = better) per app",
         columns=columns,
@@ -71,7 +81,14 @@ def run(
 def main(argv=None) -> None:
     """CLI: python -m repro.experiments.fig12_dpa [--effort fast]"""
     args = effort_argparser(__doc__).parse_args(argv)
-    print(run(effort=parse_effort(args.effort), seed=args.seed).format_table())
+    print(
+        run(
+            effort=parse_effort(args.effort),
+            seed=args.seed,
+            jobs=args.jobs,
+            cache=args.cache,
+        ).format_table()
+    )
 
 
 if __name__ == "__main__":

@@ -13,8 +13,9 @@ load applications while costing the high-load apps little.
 
 from __future__ import annotations
 
+from repro.experiments.parallel import Cell, run_cells
 from repro.experiments.report import effort_argparser, parse_effort
-from repro.experiments.runner import SCHEMES, Effort, FigureResult, run_scenario
+from repro.experiments.runner import SCHEMES, Effort, FigureResult
 from repro.experiments.scenarios import six_app
 
 __all__ = ["run", "main", "FIG14_SCHEMES"]
@@ -27,14 +28,20 @@ def run(
     seed: int = 42,
     schemes=FIG14_SCHEMES,
     global_pattern: str = "ur",
+    jobs: int = 1,
+    cache=None,
 ) -> FigureResult:
     """Run the six-app comparison; rows carry per-app APL reduction vs RO_RR."""
     scenario = six_app(global_pattern=global_pattern)
-    base = run_scenario(SCHEMES["RO_RR"], scenario, effort=effort, seed=seed)
+    cells = [
+        Cell.for_scenario(SCHEMES[key], scenario, effort, seed)
+        for key in ("RO_RR",) + tuple(schemes)
+    ]
+    runs, report = run_cells(cells, jobs=jobs, cache=cache)
+    base, scheme_runs = runs[0], runs[1:]
     apps = sorted(base.per_app_apl)
     rows = []
-    for key in schemes:
-        res = run_scenario(SCHEMES[key], scenario, effort=effort, seed=seed)
+    for key, res in zip(schemes, scheme_runs):
         reductions = {f"red_app{app}": res.reduction_vs(base, app=app) for app in apps}
         avg = sum(reductions.values()) / len(reductions)
         rows.append(
@@ -42,6 +49,7 @@ def run(
         )
     columns = ["scheme"] + [f"red_app{a}" for a in apps] + ["red_avg", "drained"]
     return FigureResult(
+        metrics=report.to_metrics(),
         figure="Figure 14",
         title=(
             f"APL reduction vs RO_RR, six-app scenario, global pattern "
@@ -59,7 +67,14 @@ def run(
 def main(argv=None) -> None:
     """CLI: python -m repro.experiments.fig14_sixapp [--effort fast]"""
     args = effort_argparser(__doc__).parse_args(argv)
-    print(run(effort=parse_effort(args.effort), seed=args.seed).format_table())
+    print(
+        run(
+            effort=parse_effort(args.effort),
+            seed=args.seed,
+            jobs=args.jobs,
+            cache=args.cache,
+        ).format_table()
+    )
 
 
 if __name__ == "__main__":

@@ -12,8 +12,9 @@ traffic pattern; the baseline orderings of Fig. 14 persist per pattern.
 
 from __future__ import annotations
 
+from repro.experiments.parallel import Cell, run_cells
 from repro.experiments.report import effort_argparser, parse_effort
-from repro.experiments.runner import SCHEMES, Effort, FigureResult, run_scenario
+from repro.experiments.runner import SCHEMES, Effort, FigureResult
 from repro.experiments.scenarios import six_app
 
 __all__ = ["run", "main", "PATTERNS"]
@@ -27,15 +28,23 @@ def run(
     seed: int = 42,
     patterns=PATTERNS,
     schemes=FIG15_SCHEMES,
+    jobs: int = 1,
+    cache=None,
 ) -> FigureResult:
     """One row per (pattern, scheme) with the average APL reduction vs RO_RR."""
+    cells = [
+        Cell.for_scenario(SCHEMES[key], six_app(global_pattern=pattern), effort, seed)
+        for pattern in patterns
+        for key in ("RO_RR",) + tuple(schemes)
+    ]
+    runs, report = run_cells(cells, jobs=jobs, cache=cache)
+    results = iter(runs)
     rows = []
     for pattern in patterns:
-        scenario = six_app(global_pattern=pattern)
-        base = run_scenario(SCHEMES["RO_RR"], scenario, effort=effort, seed=seed)
+        base = next(results)
         apps = sorted(base.per_app_apl)
         for key in schemes:
-            res = run_scenario(SCHEMES[key], scenario, effort=effort, seed=seed)
+            res = next(results)
             reds = [res.reduction_vs(base, app=app) for app in apps]
             rows.append(
                 {
@@ -46,6 +55,7 @@ def run(
                 }
             )
     return FigureResult(
+        metrics=report.to_metrics(),
         figure="Figure 15",
         title="Average APL reduction vs RO_RR per global traffic pattern",
         columns=["pattern", "scheme", "red_avg", "drained"],
@@ -61,7 +71,14 @@ def run(
 def main(argv=None) -> None:
     """CLI: python -m repro.experiments.fig15_patterns [--effort fast]"""
     args = effort_argparser(__doc__).parse_args(argv)
-    print(run(effort=parse_effort(args.effort), seed=args.seed).format_table())
+    print(
+        run(
+            effort=parse_effort(args.effort),
+            seed=args.seed,
+            jobs=args.jobs,
+            cache=args.cache,
+        ).format_table()
+    )
 
 
 if __name__ == "__main__":

@@ -13,8 +13,9 @@ lets its older packets through; round-robin treats it as a peer.
 
 from __future__ import annotations
 
+from repro.experiments.parallel import Cell, run_cells
 from repro.experiments.report import effort_argparser, parse_effort
-from repro.experiments.runner import SCHEMES, Effort, FigureResult, run_scenario
+from repro.experiments.runner import SCHEMES, Effort, FigureResult
 from repro.experiments.scenarios import PARSEC_APP_ORDER, parsec_quadrants
 
 __all__ = ["run", "main", "FIG17_SCHEMES"]
@@ -27,6 +28,8 @@ def run(
     seed: int = 42,
     schemes=FIG17_SCHEMES,
     adversarial_rate: float | None = None,
+    jobs: int = 1,
+    cache=None,
 ) -> FigureResult:
     """One row per scheme with per-app and average slowdowns.
 
@@ -37,10 +40,17 @@ def run(
     clean = parsec_quadrants(adversarial=False)
     attacked = parsec_quadrants(adversarial=True, adversarial_rate=adversarial_rate)
     adversarial_rate = attacked.meta["adversarial_rate"]
+    cells = [
+        Cell.for_scenario(SCHEMES[key], scenario, effort, seed)
+        for key in schemes
+        for scenario in (clean, attacked)
+    ]
+    runs, report = run_cells(cells, jobs=jobs, cache=cache)
+    results = iter(runs)
     rows = []
     for key in schemes:
-        base = run_scenario(SCHEMES[key], clean, effort=effort, seed=seed)
-        adv = run_scenario(SCHEMES[key], attacked, effort=effort, seed=seed)
+        base = next(results)
+        adv = next(results)
         slowdowns = {}
         for app, name in enumerate(PARSEC_APP_ORDER):
             b = base.per_app_apl.get(app)
@@ -63,6 +73,7 @@ def run(
         + ["slow_avg", "drained"]
     )
     return FigureResult(
+        metrics=report.to_metrics(),
         figure="Figure 17",
         title=(
             f"APL slowdown under {adversarial_rate} flits/cycle/node "
@@ -81,7 +92,14 @@ def run(
 def main(argv=None) -> None:
     """CLI: python -m repro.experiments.fig17_parsec [--effort fast]"""
     args = effort_argparser(__doc__).parse_args(argv)
-    print(run(effort=parse_effort(args.effort), seed=args.seed).format_table())
+    print(
+        run(
+            effort=parse_effort(args.effort),
+            seed=args.seed,
+            jobs=args.jobs,
+            cache=args.cache,
+        ).format_table()
+    )
 
 
 if __name__ == "__main__":

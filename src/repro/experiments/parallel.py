@@ -1,0 +1,183 @@
+"""Parallel execution of experiment cells with optional result caching.
+
+A **cell** is the unit of experiment work: one ``(scheme, scenario,
+effort, seed)`` simulation, optionally with a config override or policy
+overrides. Cells are mutually independent — every stochastic input is
+derived from the cell's own seed via ``SeedSequence`` spawning — so a
+figure sweep is an embarrassingly parallel map. :func:`run_cells` runs
+that map either serially in-process (``jobs=1``, the default: the exact
+code path of a plain :func:`~repro.experiments.runner.run_scenario` loop)
+or over a :class:`~concurrent.futures.ProcessPoolExecutor`.
+
+Determinism guarantee: the per-cell results are a function of the cell
+alone, never of scheduling. Workers rebuild the scenario from its
+:class:`~repro.experiments.scenarios.ScenarioSpec`, seed it identically,
+and results are collected *in submission order* — so ``jobs=N`` is
+bit-identical to ``jobs=1`` for every simulation-determined field
+(asserted by ``tests/integration/test_parallel.py``).
+
+With ``cache=<dir>`` each cell is first looked up in the content-addressed
+on-disk cache (:mod:`repro.experiments.cache`); hits skip the simulation
+entirely. The returned :class:`ExecutionReport` aggregates wall time,
+hit/miss counts, and the simulator cycles actually executed (0 on a fully
+warm cache).
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+
+from repro.experiments.cache import ResultCache, cache_key
+from repro.experiments.runner import Effort, ScenarioRun, Scheme, run_scenario
+from repro.experiments.scenarios import ScenarioSpec
+from repro.noc.config import NocConfig
+from repro.util.errors import ConfigError
+
+__all__ = ["Cell", "ExecutionReport", "run_cells", "compute_cell"]
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One independent experiment unit, picklable and content-hashable."""
+
+    scheme: Scheme
+    spec: ScenarioSpec
+    effort: Effort
+    seed: int
+    config: NocConfig | None = None
+    policy_overrides: dict | None = None
+
+    @classmethod
+    def for_scenario(
+        cls,
+        scheme: Scheme,
+        scenario,
+        effort: Effort,
+        seed: int,
+        config: NocConfig | None = None,
+        policy_overrides: dict | None = None,
+    ) -> "Cell":
+        """Build a cell from a live :class:`Scenario` (needs its spec)."""
+        if scenario.spec is None:
+            raise ConfigError(
+                f"scenario {scenario.name!r} has no rebuild spec; only "
+                "registry-built scenarios can be parallelized or cached"
+            )
+        return cls(
+            scheme=scheme,
+            spec=scenario.spec,
+            effort=effort,
+            seed=seed,
+            config=config,
+            policy_overrides=policy_overrides,
+        )
+
+
+def compute_cell(cell: Cell) -> ScenarioRun:
+    """Simulate one cell from scratch (no cache involvement)."""
+    return run_scenario(
+        cell.scheme,
+        cell.spec.build(),
+        effort=cell.effort,
+        seed=cell.seed,
+        config=cell.config,
+        policy_overrides=cell.policy_overrides,
+    )
+
+
+def _execute(cell: Cell, cache_dir: str | None) -> tuple[ScenarioRun, bool]:
+    """Cache-aware cell execution; runs in-process or inside a worker."""
+    if cache_dir is None:
+        return compute_cell(cell), False
+    cache = ResultCache(cache_dir)
+    key = cache_key(cell)
+    run = cache.get(key)
+    if run is not None:
+        if run.metrics is not None:
+            run.metrics.cache_hit = True
+        return run, True
+    run = compute_cell(cell)
+    cache.put(key, run)
+    return run, False
+
+
+@dataclass
+class ExecutionReport:
+    """What one :func:`run_cells` invocation cost."""
+
+    cells: int
+    jobs: int
+    cache_hits: int
+    cache_misses: int
+    wall_time_s: float
+    #: simulator cycles actually executed (cache hits contribute zero)
+    sim_cycles: int
+    cached: bool = field(default=False)
+
+    @property
+    def cycles_per_sec(self) -> float:
+        if self.wall_time_s <= 0.0:
+            return 0.0
+        return self.sim_cycles / self.wall_time_s
+
+    def to_metrics(self) -> dict:
+        """Counters in :attr:`FigureResult.metrics` form."""
+        out = {
+            "cells": self.cells,
+            "jobs": self.jobs,
+            "wall_time_s": round(self.wall_time_s, 3),
+            "sim_cycles": self.sim_cycles,
+            "cycles_per_sec": round(self.cycles_per_sec, 1),
+        }
+        if self.cached:
+            out["cache_hits"] = self.cache_hits
+            out["cache_misses"] = self.cache_misses
+        return out
+
+
+def run_cells(
+    cells,
+    jobs: int = 1,
+    cache=None,
+) -> tuple[list[ScenarioRun], ExecutionReport]:
+    """Execute ``cells``, returning results in input order plus a report.
+
+    ``jobs=1`` runs serially in this process; ``jobs>1`` fans out over a
+    process pool (each worker is single-threaded and deterministic).
+    ``cache`` is a directory path or :class:`ResultCache`; when given,
+    cells already present on disk are restored instead of simulated and
+    freshly computed cells are persisted for future runs.
+    """
+    cells = list(cells)
+    if jobs < 1:
+        raise ConfigError(f"jobs must be >= 1, got {jobs}")
+    if isinstance(cache, ResultCache):
+        cache_dir = str(cache.root)
+    elif cache is not None:
+        cache_dir = str(cache)
+    else:
+        cache_dir = None
+
+    start = time.perf_counter()
+    if jobs == 1 or len(cells) <= 1:
+        pairs = [_execute(cell, cache_dir) for cell in cells]
+    else:
+        with ProcessPoolExecutor(max_workers=min(jobs, len(cells))) as pool:
+            pairs = list(pool.map(_execute, cells, itertools.repeat(cache_dir)))
+    wall = time.perf_counter() - start
+
+    runs = [run for run, _ in pairs]
+    hits = sum(1 for _, hit in pairs if hit)
+    report = ExecutionReport(
+        cells=len(cells),
+        jobs=jobs,
+        cache_hits=hits,
+        cache_misses=len(cells) - hits,
+        wall_time_s=wall,
+        sim_cycles=sum(run.end_cycle for run, hit in pairs if not hit),
+        cached=cache_dir is not None,
+    )
+    return runs, report

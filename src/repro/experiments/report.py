@@ -35,4 +35,17 @@ def effort_argparser(description: str) -> argparse.ArgumentParser:
         help="window scale: smoke, fast, medium (default), full (paper-size)",
     )
     parser.add_argument("--seed", type=int, default=42, help="master RNG seed")
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for independent cells (default 1 = serial; "
+        "results are bit-identical either way)",
+    )
+    parser.add_argument(
+        "--cache",
+        default=None,
+        metavar="DIR",
+        help="result-cache directory; already-computed cells are reused",
+    )
     return parser

@@ -3,11 +3,19 @@
 CLI::
 
     python -m repro.experiments.run_all [--effort medium] [--out results/]
+                                        [--jobs N] [--cache DIR]
 
 Runs E-T1, E-F9/F10/F12/F14/F15/F17 and the three ablations in sequence,
 printing each table and writing ``<out>/<experiment>.txt``, plus a
 ``summary.txt`` with the headline shape checks. This is the one-command
 regeneration path behind EXPERIMENTS.md.
+
+``--jobs N`` fans each experiment's independent (scheme, scenario, seed)
+cells over N worker processes; ``--cache DIR`` reuses cells already
+computed by *any* previous figure, ablation, or sweep (several figures
+share their RO_RR baselines, so a cached full run skips a sizable
+fraction of the work). Results are bit-identical to the serial,
+uncached path either way.
 """
 
 from __future__ import annotations
@@ -56,6 +64,14 @@ def main(argv=None) -> None:
         "--only", nargs="*", default=None,
         help=f"subset of experiments to run; known: {sorted(EXPERIMENTS)}",
     )
+    parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes per experiment (default 1 = serial)",
+    )
+    parser.add_argument(
+        "--cache", default=None, metavar="DIR",
+        help="result-cache directory shared across experiments and runs",
+    )
     args = parser.parse_args(argv)
     effort = parse_effort(args.effort)
     out = pathlib.Path(args.out)
@@ -67,22 +83,28 @@ def main(argv=None) -> None:
         raise SystemExit(f"unknown experiments: {sorted(unknown)}")
 
     summary = []
+    hits = misses = 0
     for name in names:
         module = EXPERIMENTS[name]
         start = time.perf_counter()
         if name == "table1":
             result = module.run()
         else:
-            result = module.run(effort=effort, seed=args.seed)
+            result = module.run(
+                effort=effort, seed=args.seed, jobs=args.jobs, cache=args.cache
+            )
         elapsed = time.perf_counter() - start
+        hits += result.metrics.get("cache_hits", 0)
+        misses += result.metrics.get("cache_misses", 0)
         text = result.format_table()
         print(f"\n{text}\n[{name}: {elapsed:.1f}s]")
         (out / f"{name}.txt").write_text(text + "\n")
         summary.append(f"{name}: {len(result.rows)} rows, {elapsed:.1f}s")
 
-    (out / "summary.txt").write_text(
-        f"effort={effort.name} seed={args.seed}\n" + "\n".join(summary) + "\n"
-    )
+    header = f"effort={effort.name} seed={args.seed} jobs={args.jobs}"
+    if args.cache is not None:
+        header += f" cache_hits={hits} cache_misses={misses}"
+    (out / "summary.txt").write_text(header + "\n" + "\n".join(summary) + "\n")
     print(f"\nwrote {len(names)} experiment reports to {out}/")
 
 

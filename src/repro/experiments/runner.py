@@ -18,6 +18,7 @@ from repro import build_simulation
 from repro.core.dpa import DpaConfig
 from repro.core.msp import Stage
 from repro.noc.config import NocConfig
+from repro.noc.stats import RunMetrics
 
 __all__ = [
     "Effort",
@@ -112,12 +113,37 @@ class ScenarioRun:
     per_app_apl: dict[int, float]
     end_cycle: int
     packets_measured: int
+    #: None (clean) | "watchdog" | "drain_limit" (see MeasurementResult)
+    abort: str | None = None
+    #: wall-clock counters; excluded from comparisons — two runs of the
+    #: same cell are *simulation*-identical, never timing-identical
+    metrics: RunMetrics | None = field(default=None, compare=False)
 
     def reduction_vs(self, baseline: "ScenarioRun", app: int | None = None) -> float:
         """Fractional APL reduction relative to ``baseline`` (positive = better)."""
         mine = self.apl if app is None else self.per_app_apl[app]
         theirs = baseline.apl if app is None else baseline.per_app_apl[app]
         return 1.0 - mine / theirs
+
+    def determinism_signature(self) -> tuple:
+        """Every simulation-determined field, for bit-identity assertions.
+
+        Excludes wall-clock metrics; equal signatures mean the simulator
+        produced exactly the same run, whether serially, in a worker
+        process, or restored from the result cache.
+        """
+        return (
+            self.scheme,
+            self.scenario,
+            self.window,
+            self.drained,
+            self.undrained_packets,
+            self.apl,
+            tuple(sorted(self.per_app_apl.items())),
+            self.end_cycle,
+            self.packets_measured,
+            self.abort,
+        )
 
 
 def run_scenario(
@@ -127,14 +153,32 @@ def run_scenario(
     seed: int = 42,
     config: NocConfig | None = None,
     policy_overrides: dict | None = None,
+    cache=None,
 ) -> ScenarioRun:
     """Simulate ``scenario`` under ``scheme`` and summarize.
 
     ``scenario`` is a :class:`~repro.experiments.scenarios.Scenario`;
     ``config`` overrides its network config (used by the VC-split
     ablation); ``policy_overrides`` merge into the scheme's policy kwargs
-    (used by the hysteresis ablation).
+    (used by the hysteresis ablation). ``cache`` is a result-cache
+    directory (or :class:`~repro.experiments.cache.ResultCache`): when
+    given and the scenario carries a rebuild spec, an already-computed
+    identical cell is restored from disk instead of simulated.
     """
+    if cache is not None and getattr(scenario, "spec", None) is not None:
+        # Late import: parallel imports this module.
+        from repro.experiments.parallel import Cell, run_cells
+
+        cell = Cell(
+            scheme=scheme,
+            spec=scenario.spec,
+            effort=effort,
+            seed=seed,
+            config=config,
+            policy_overrides=policy_overrides,
+        )
+        runs, _ = run_cells([cell], jobs=1, cache=cache)
+        return runs[0]
     cfg = config or scenario.config
     kwargs = dict(scheme.policy_kwargs)
     if policy_overrides:
@@ -160,6 +204,8 @@ def run_scenario(
         per_app_apl=stats.per_app_apl(window=res.window),
         end_cycle=res.end_cycle,
         packets_measured=stats.packet_count(window=res.window),
+        abort=res.abort,
+        metrics=res.metrics,
     )
 
 
@@ -172,6 +218,9 @@ class FigureResult:
     columns: list[str]
     rows: list[dict]
     notes: list[str] = field(default_factory=list)
+    #: execution counters (wall time, cells, cache hits/misses, sim
+    #: cycles/sec) attached by the parallel/cache layer
+    metrics: dict = field(default_factory=dict)
 
     def format_table(self) -> str:
         """Fixed-width text table (what the benchmark harness prints)."""
@@ -195,7 +244,24 @@ class FigureResult:
         lines.append(sep)
         for note in self.notes:
             lines.append(f"note: {note}")
+        if self.metrics:
+            pairs = ", ".join(
+                f"{k}={v:.3f}" if isinstance(v, float) else f"{k}={v}"
+                for k, v in sorted(self.metrics.items())
+            )
+            lines.append(f"metrics: {pairs}")
         return "\n".join(lines)
+
+    def to_json_dict(self) -> dict:
+        """JSON-serializable form (rows, notes, and execution metrics)."""
+        return {
+            "figure": self.figure,
+            "title": self.title,
+            "columns": list(self.columns),
+            "rows": [dict(row) for row in self.rows],
+            "notes": list(self.notes),
+            "metrics": dict(self.metrics),
+        }
 
     def row_by(self, **match) -> dict:
         """First row whose fields equal ``match`` (KeyError if none)."""

@@ -37,6 +37,8 @@ from repro.util.rng import spawn_rngs
 
 __all__ = [
     "Scenario",
+    "ScenarioSpec",
+    "SCENARIO_BUILDERS",
     "two_app_msp",
     "four_app_dpa",
     "six_app",
@@ -44,6 +46,34 @@ __all__ = [
     "SIX_APP_LOADS",
     "PARSEC_APP_ORDER",
 ]
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """Picklable recipe for rebuilding a :class:`Scenario` in a worker.
+
+    A :class:`Scenario` carries closures (its ``traffic_factory``) and so
+    cannot cross a process boundary; the spec records the *builder name*
+    plus its resolved keyword arguments instead. Builders are
+    deterministic, so ``spec.build()`` in any process yields a scenario
+    whose simulations are bit-identical to the original's. The spec is
+    also the scenario half of the result-cache key
+    (:mod:`repro.experiments.cache`).
+    """
+
+    builder: str
+    kwargs: dict = field(default_factory=dict)
+
+    def build(self) -> "Scenario":
+        """Reconstruct the scenario via the builder registry."""
+        try:
+            fn = SCENARIO_BUILDERS[self.builder]
+        except KeyError:
+            raise KeyError(
+                f"unknown scenario builder {self.builder!r}; known: "
+                f"{sorted(SCENARIO_BUILDERS)}"
+            ) from None
+        return fn(**self.kwargs)
 
 
 @dataclass
@@ -56,6 +86,9 @@ class Scenario:
     traffic_factory: Callable[[int], list]
     description: str = ""
     meta: dict = field(default_factory=dict)
+    #: recipe to rebuild this scenario in another process (None for
+    #: hand-assembled scenarios, which then cannot be parallelized/cached)
+    spec: ScenarioSpec | None = None
 
 
 # -- Fig. 8 / 9 / 10: two applications, swept inter-region fraction ------------------
@@ -99,6 +132,7 @@ def two_app_msp(p_inter: float, config: NocConfig | None = None) -> Scenario:
             f"inter-region, App1 {high:.3f} intra-region"
         ),
         meta={"p_inter": p_inter, "low_rate": low, "high_rate": high},
+        spec=ScenarioSpec("two_app_msp", {"p_inter": p_inter, "config": config}),
     )
 
 
@@ -164,6 +198,7 @@ def four_app_dpa(variant: str, config: NocConfig | None = None) -> Scenario:
         traffic_factory=factory,
         description=f"Fig.11({variant}): 4 quadrant apps, DPA validation",
         meta={"variant": variant, "low_rate": low, "high_rate": high},
+        spec=ScenarioSpec("four_app_dpa", {"variant": variant, "config": config}),
     )
 
 
@@ -245,6 +280,10 @@ def six_app(
             f"{global_pattern.upper()}"
         ),
         meta={"global_pattern": global_pattern, "loads": loads},
+        spec=ScenarioSpec(
+            "six_app",
+            {"global_pattern": global_pattern, "config": config, "loads": loads},
+        ),
     )
 
 
@@ -311,4 +350,22 @@ def parsec_quadrants(
             "adversarial_rate": adversarial_rate,
             "apps": PARSEC_APP_ORDER,
         },
+        spec=ScenarioSpec(
+            "parsec_quadrants",
+            {
+                "adversarial": adversarial,
+                "adversarial_rate": adversarial_rate,
+                "config": config,
+            },
+        ),
     )
+
+
+#: Builder registry backing :meth:`ScenarioSpec.build` — every entry must
+#: be a deterministic function of its keyword arguments.
+SCENARIO_BUILDERS: dict[str, Callable[..., Scenario]] = {
+    "two_app_msp": two_app_msp,
+    "four_app_dpa": four_app_dpa,
+    "six_app": six_app,
+    "parsec_quadrants": parsec_quadrants,
+}

@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 import numpy as np
 from scipy import stats as sp_stats
 
+from repro.experiments.parallel import Cell, run_cells
 from repro.experiments.runner import Effort, FigureResult, Scheme, run_scenario
 from repro.util.errors import ConfigError
 
@@ -72,19 +73,41 @@ class SweepResult:
         return lo > 0 or hi < 0
 
 
+def _scenario_runs(
+    scheme: Scheme,
+    scenario,
+    seeds: Sequence[int],
+    effort: Effort,
+    jobs: int,
+    cache,
+):
+    """One run per seed, in seed order — serial or via the cell engine."""
+    if jobs == 1 and cache is None:
+        return [run_scenario(scheme, scenario, effort=effort, seed=s) for s in seeds]
+    cells = [Cell.for_scenario(scheme, scenario, effort, s) for s in seeds]
+    runs, _ = run_cells(cells, jobs=jobs, cache=cache)
+    return runs
+
+
 def replicate(
     scheme: Scheme,
     scenario,
     seeds: Sequence[int],
     effort: Effort = Effort.FAST,
+    jobs: int = 1,
+    cache=None,
 ) -> dict[int, SweepResult]:
-    """Per-app APL samples across ``seeds``; key -1 holds the overall APL."""
+    """Per-app APL samples across ``seeds``; key -1 holds the overall APL.
+
+    ``jobs`` fans the seeds out over worker processes and ``cache`` reuses
+    cells already computed on disk; both leave the samples bit-identical
+    to the serial path (same seeds, same ordering).
+    """
     if not seeds:
         raise ConfigError("need at least one seed")
     per_app: dict[int, list[float]] = {}
     overall: list[float] = []
-    for seed in seeds:
-        run = run_scenario(scheme, scenario, effort=effort, seed=seed)
+    for run in _scenario_runs(scheme, scenario, seeds, effort, jobs, cache):
         overall.append(run.apl)
         for app, apl in run.per_app_apl.items():
             per_app.setdefault(app, []).append(apl)
@@ -102,21 +125,25 @@ def compare_schemes(
     seeds: Sequence[int],
     effort: Effort = Effort.FAST,
     level: float = 0.95,
+    jobs: int = 1,
+    cache=None,
 ) -> FigureResult:
     """Mean APL reduction vs ``baseline`` per scheme, with CIs across seeds.
 
     Reductions are paired per seed (same traffic realization for scheme
     and baseline), which removes most workload noise from the comparison.
     """
-    base_runs = {
-        seed: run_scenario(baseline, scenario, effort=effort, seed=seed)
-        for seed in seeds
-    }
+    base_runs = dict(
+        zip(seeds, _scenario_runs(baseline, scenario, seeds, effort, jobs, cache))
+    )
     rows = []
     for scheme in schemes:
+        scheme_runs = dict(
+            zip(seeds, _scenario_runs(scheme, scenario, seeds, effort, jobs, cache))
+        )
         reductions = []
         for seed in seeds:
-            run = run_scenario(scheme, scenario, effort=effort, seed=seed)
+            run = scheme_runs[seed]
             base = base_runs[seed]
             apps = sorted(base.per_app_apl)
             reductions.append(

@@ -21,9 +21,11 @@ packets only.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, field
 
 from repro.noc.network import Network
+from repro.noc.stats import RunMetrics
 from repro.util.errors import SimulationError
 
 __all__ = ["Simulator", "MeasurementResult"]
@@ -31,7 +33,15 @@ __all__ = ["Simulator", "MeasurementResult"]
 
 @dataclass
 class MeasurementResult:
-    """Outcome of one warmup/measure/drain run."""
+    """Outcome of one warmup/measure/drain run.
+
+    ``abort`` distinguishes *why* a run failed to drain: ``"watchdog"``
+    means the deadlock/livelock watchdog fired during the drain phase (no
+    flit moved for :attr:`Simulator.WATCHDOG_CYCLES` cycles — the leftover
+    packets are stuck, not merely slow), ``"drain_limit"`` means the drain
+    budget ran out while flits were still moving, and ``None`` means a
+    clean run. ``undrained_packets`` alone cannot tell these apart.
+    """
 
     warmup: int
     measure: int
@@ -40,6 +50,10 @@ class MeasurementResult:
     drained: bool
     #: packets injected in the window that never ejected before drain_limit
     undrained_packets: int
+    #: None (clean) | "watchdog" | "drain_limit"
+    abort: str | None = None
+    #: wall-clock / cycle counters for this run
+    metrics: RunMetrics = field(default_factory=RunMetrics)
 
 
 class Simulator:
@@ -55,6 +69,11 @@ class Simulator:
         self.cycle = 0
         self._last_moved = 0
         self._last_progress_cycle = 0
+        self.metrics = RunMetrics()
+
+    def reset_metrics(self) -> None:
+        """Zero the run-metrics counters (cycle/wall-time/phase timings)."""
+        self.metrics.reset()
 
     def add_traffic(self, source) -> None:
         """Register a traffic source (object with ``tick(cycle, network)``)."""
@@ -120,17 +139,38 @@ class Simulator:
         measure: int,
         drain_limit: int | None = None,
     ) -> MeasurementResult:
-        """Warm up, measure, and drain (paper Section V.A protocol)."""
+        """Warm up, measure, and drain (paper Section V.A protocol).
+
+        A watchdog trip during warmup or measurement still raises (the run
+        produced no usable window); one during the *drain* phase is caught
+        and reported as ``abort="watchdog"`` — the measured packets that
+        did eject remain valid, only the stragglers are stuck.
+        """
         if drain_limit is None:
             drain_limit = 10 * (warmup + measure) + 20_000
         net = self.network
         window = (self.cycle + warmup, self.cycle + warmup + measure)
         net.set_measure_window(window)
-        self.run(warmup + measure)
+        t0 = time.perf_counter()
+        self.run(warmup)
+        t1 = time.perf_counter()
+        self.run(measure)
+        t2 = time.perf_counter()
+        drain_start = self.cycle
         deadline = self.cycle + drain_limit
-        while self.cycle < deadline and net.window_ejected < net.window_injected:
-            self.step()
+        abort = None
+        try:
+            while self.cycle < deadline and net.window_ejected < net.window_injected:
+                self.step()
+        except SimulationError:
+            abort = "watchdog"
+        t3 = time.perf_counter()
         undrained = net.window_injected - net.window_ejected
+        if abort is None and undrained > 0:
+            abort = "drain_limit"
+        self.metrics.record_phase("warmup", warmup, t1 - t0)
+        self.metrics.record_phase("measure", measure, t2 - t1)
+        self.metrics.record_phase("drain", self.cycle - drain_start, t3 - t2)
         return MeasurementResult(
             warmup=warmup,
             measure=measure,
@@ -138,4 +178,6 @@ class Simulator:
             end_cycle=self.cycle,
             drained=undrained == 0,
             undrained_packets=max(0, undrained),
+            abort=abort,
+            metrics=self.metrics,
         )

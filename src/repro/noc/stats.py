@@ -13,11 +13,72 @@ and reductions relative to a baseline scheme.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
-__all__ = ["NetworkStats", "LatencyStats"]
+__all__ = ["NetworkStats", "LatencyStats", "RunMetrics"]
+
+
+@dataclass
+class RunMetrics:
+    """Lightweight wall-clock counters for one measurement run.
+
+    Filled in by :meth:`repro.noc.sim.Simulator.run_measurement`:
+    ``phase_cycles`` / ``phase_seconds`` are keyed by the protocol phases
+    (``warmup`` / ``measure`` / ``drain``). ``cache_hit`` is set by the
+    experiment cache layer when the run was restored from disk instead of
+    simulated (its timings then describe the *original* computation).
+    """
+
+    wall_time_s: float = 0.0
+    cycles: int = 0
+    phase_cycles: dict[str, int] = field(default_factory=dict)
+    phase_seconds: dict[str, float] = field(default_factory=dict)
+    cache_hit: bool = False
+
+    @property
+    def cycles_per_sec(self) -> float:
+        """Simulated cycles per wall-clock second (0.0 before any run)."""
+        if self.wall_time_s <= 0.0:
+            return 0.0
+        return self.cycles / self.wall_time_s
+
+    def record_phase(self, name: str, cycles: int, seconds: float) -> None:
+        """Accumulate one protocol phase into the totals."""
+        self.phase_cycles[name] = self.phase_cycles.get(name, 0) + cycles
+        self.phase_seconds[name] = self.phase_seconds.get(name, 0.0) + seconds
+        self.cycles += cycles
+        self.wall_time_s += seconds
+
+    def reset(self) -> None:
+        """Zero every counter (e.g. before reusing a simulator)."""
+        self.wall_time_s = 0.0
+        self.cycles = 0
+        self.phase_cycles.clear()
+        self.phase_seconds.clear()
+        self.cache_hit = False
+
+    # -- serialization (result cache / FigureResult output) ------------------
+    def to_dict(self) -> dict:
+        return {
+            "wall_time_s": self.wall_time_s,
+            "cycles": self.cycles,
+            "cycles_per_sec": self.cycles_per_sec,
+            "phase_cycles": dict(self.phase_cycles),
+            "phase_seconds": dict(self.phase_seconds),
+            "cache_hit": self.cache_hit,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "RunMetrics":
+        return cls(
+            wall_time_s=float(d["wall_time_s"]),
+            cycles=int(d["cycles"]),
+            phase_cycles={str(k): int(v) for k, v in d["phase_cycles"].items()},
+            phase_seconds={str(k): float(v) for k, v in d["phase_seconds"].items()},
+            cache_hit=bool(d.get("cache_hit", False)),
+        )
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,89 @@
+"""Determinism and caching acceptance tests for the parallel cell engine.
+
+Two guarantees hold the whole layer together:
+
+* bit-identity — fanning cells over worker processes must not perturb a
+  single sample (every RNG stream derives from the cell seed, never from
+  worker identity or scheduling order),
+* cache transparency — a warm cache returns the same runs without
+  simulating a single cycle.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.fig09_msp import run as fig09_run
+from repro.experiments.parallel import Cell, run_cells
+from repro.experiments.runner import SCHEMES, Effort, run_scenario
+from repro.experiments.scenarios import two_app_msp
+from repro.experiments.sweep import replicate
+from repro.util.errors import ConfigError
+
+SEEDS = [1, 2]
+
+
+@pytest.mark.parametrize("key", sorted(SCHEMES))
+def test_replicate_parallel_matches_serial(key):
+    """jobs=1 vs jobs=4 per-app APL samples are bit-identical per scheme."""
+    scheme = SCHEMES[key]
+    serial = replicate(scheme, two_app_msp(0.5), SEEDS, effort=Effort.SMOKE, jobs=1)
+    para = replicate(scheme, two_app_msp(0.5), SEEDS, effort=Effort.SMOKE, jobs=4)
+    assert sorted(serial) == sorted(para)
+    for app in serial:
+        assert serial[app].samples.tolist() == para[app].samples.tolist()
+
+
+class TestCellEngine:
+    def test_for_scenario_requires_spec(self):
+        scenario = two_app_msp(0.5)
+        stripped = type(scenario)(
+            name=scenario.name,
+            config=scenario.config,
+            region_map=scenario.region_map,
+            traffic_factory=scenario.traffic_factory,
+            spec=None,
+        )
+        with pytest.raises(ConfigError, match="spec"):
+            Cell.for_scenario(SCHEMES["RO_RR"], stripped, Effort.SMOKE, 1)
+
+    def test_bad_jobs_rejected(self):
+        cell = Cell.for_scenario(SCHEMES["RO_RR"], two_app_msp(0.5), Effort.SMOKE, 1)
+        with pytest.raises(ConfigError, match="jobs"):
+            run_cells([cell], jobs=0)
+
+    def test_run_scenario_cache_round_trip(self, tmp_path):
+        scheme = SCHEMES["RA_RAIR"]
+        cold = run_scenario(
+            scheme, two_app_msp(0.5), effort=Effort.SMOKE, seed=3, cache=tmp_path
+        )
+        warm = run_scenario(
+            scheme, two_app_msp(0.5), effort=Effort.SMOKE, seed=3, cache=tmp_path
+        )
+        assert not cold.metrics.cache_hit
+        assert warm.metrics.cache_hit
+        assert warm.determinism_signature() == cold.determinism_signature()
+
+
+class TestMediumAcceptance:
+    """ISSUE acceptance: MEDIUM-effort figure sweep, serial vs jobs=4 vs warm."""
+
+    KW = dict(
+        effort=Effort.MEDIUM,
+        seed=42,
+        p_values=(0.0, 1.0),
+        schemes=("RO_RR", "RAIR_VA+SA"),
+    )
+
+    def test_parallel_bit_identical_and_warm_cache_hits_everything(self, tmp_path):
+        serial = fig09_run(**self.KW)
+        cold = fig09_run(**self.KW, jobs=4, cache=tmp_path)
+        assert cold.rows == serial.rows  # bit-identical floats
+        assert cold.metrics["cache_misses"] == 4
+        assert cold.metrics["cache_hits"] == 0
+
+        warm = fig09_run(**self.KW, jobs=4, cache=tmp_path)
+        assert warm.rows == serial.rows
+        assert warm.metrics["cache_hits"] == 4
+        assert warm.metrics["cache_misses"] == 0
+        assert warm.metrics["sim_cycles"] == 0  # zero simulator cycles

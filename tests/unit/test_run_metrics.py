@@ -1,0 +1,88 @@
+"""Unit tests for the run-metrics counters (RunMetrics + wiring)."""
+
+from __future__ import annotations
+
+import json
+
+from repro import build_simulation
+from repro.experiments.runner import FigureResult
+from repro.noc.config import NocConfig
+from repro.noc.stats import RunMetrics
+from repro.traffic.patterns import UniformPattern
+from repro.traffic.synthetic import FixedLength, SyntheticTrafficSource
+
+
+def _small_run(warmup=100, measure=400):
+    cfg = NocConfig(width=4, height=4)
+    sim, net = build_simulation(cfg, scheme="ro_rr", routing="xy")
+    sim.add_traffic(
+        SyntheticTrafficSource(
+            nodes=range(cfg.num_nodes),
+            rate=0.05,
+            pattern=UniformPattern(net.topology),
+            app_id=0,
+            seed=7,
+            lengths=FixedLength(1),
+        )
+    )
+    res = sim.run_measurement(warmup=warmup, measure=measure, drain_limit=20_000)
+    return sim, res
+
+
+class TestRunMetricsCounters:
+    def test_populated_after_run_measurement(self):
+        sim, res = _small_run()
+        m = res.metrics
+        assert m is sim.metrics
+        assert m.cycles == res.end_cycle
+        assert m.wall_time_s > 0.0
+        assert m.cycles_per_sec > 0.0
+        assert set(m.phase_cycles) == {"warmup", "measure", "drain"}
+        assert m.phase_cycles["warmup"] == 100
+        assert m.phase_cycles["measure"] == 400
+        assert sum(m.phase_cycles.values()) == res.end_cycle
+        assert set(m.phase_seconds) == {"warmup", "measure", "drain"}
+        assert all(s >= 0.0 for s in m.phase_seconds.values())
+
+    def test_zeroed_on_reset(self):
+        sim, _ = _small_run()
+        sim.reset_metrics()
+        m = sim.metrics
+        assert m.cycles == 0
+        assert m.wall_time_s == 0.0
+        assert m.cycles_per_sec == 0.0
+        assert m.phase_cycles == {} and m.phase_seconds == {}
+        assert not m.cache_hit
+
+    def test_accumulates_across_runs_until_reset(self):
+        sim, res1 = _small_run(warmup=50, measure=100)
+        before = sim.metrics.phase_cycles["warmup"]
+        sim.run_measurement(warmup=50, measure=100, drain_limit=20_000)
+        assert sim.metrics.phase_cycles["warmup"] == before + 50
+
+    def test_dict_round_trip(self):
+        _, res = _small_run()
+        d = res.metrics.to_dict()
+        back = RunMetrics.from_dict(d)
+        assert back == res.metrics
+        assert d["cycles_per_sec"] == res.metrics.cycles_per_sec
+
+
+class TestFigureResultMetricsOutput:
+    def test_metrics_rendered_and_serialized(self):
+        fig = FigureResult(
+            figure="F",
+            title="t",
+            columns=["a"],
+            rows=[{"a": 1.0}],
+            metrics={"cells": 4, "cache_hits": 3, "wall_time_s": 1.25},
+        )
+        text = fig.format_table()
+        assert "metrics:" in text
+        assert "cache_hits=3" in text
+        blob = json.dumps(fig.to_json_dict())
+        assert json.loads(blob)["metrics"]["cells"] == 4
+
+    def test_no_metrics_line_when_empty(self):
+        fig = FigureResult(figure="F", title="t", columns=["a"], rows=[{"a": 1}])
+        assert "metrics:" not in fig.format_table()

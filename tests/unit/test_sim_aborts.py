@@ -1,0 +1,102 @@
+"""Pin the watchdog vs drain-limit abort reporting of run_measurement.
+
+``MeasurementResult.undrained_packets`` alone cannot distinguish "the
+drain budget ran out while flits were still crawling forward" from "the
+network deadlocked mid-drain"; ``MeasurementResult.abort`` must. These
+tests drive the simulator against a minimal fake network so each path is
+hit deterministically and cheaply.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.noc.sim import Simulator
+from repro.util.errors import SimulationError
+
+
+class _FakePolicy:
+    def end_router_cycle(self, router, cycle):
+        pass
+
+    def end_network_cycle(self, net, cycle):
+        pass
+
+
+class FakeNet:
+    """Just enough network surface for Simulator's loop and watchdog.
+
+    ``move_until`` is the cycle after which flit movement freezes (the
+    watchdog then sees no progress); ``eject_at`` is the cycle at which
+    all window packets count as ejected (None = never).
+    """
+
+    def __init__(self, injected=8, ejected=3, move_until=None, eject_at=None):
+        self.window_injected = injected
+        self.window_ejected = ejected
+        self._move_until = move_until
+        self._eject_at = eject_at
+        self.flits_moved = 0
+        self.routers = ()
+        self.policy = _FakePolicy()
+        self.occupancy = np.array([True])
+
+    def refresh_congestion(self, cycle):
+        if self._move_until is None or cycle < self._move_until:
+            self.flits_moved += 1
+        if self._eject_at is not None and cycle >= self._eject_at:
+            self.window_ejected = self.window_injected
+
+    def deliver_events(self, cycle):
+        pass
+
+    def place_injections(self, cycle):
+        pass
+
+    def set_measure_window(self, window):
+        pass
+
+    def busy_routers(self):
+        return []
+
+    def total_buffered_flits(self):
+        return self.window_injected - self.window_ejected
+
+
+class TestAbortReporting:
+    def test_clean_run_has_no_abort(self):
+        sim = Simulator(FakeNet(injected=8, ejected=3, eject_at=15))
+        res = sim.run_measurement(warmup=5, measure=5, drain_limit=100)
+        assert res.drained
+        assert res.abort is None
+        assert res.undrained_packets == 0
+
+    def test_watchdog_abort_during_drain(self):
+        # Movement freezes after warmup+measure; the watchdog fires during
+        # the drain phase and is reported, not raised.
+        sim = Simulator(FakeNet(injected=8, ejected=3, move_until=10))
+        sim.WATCHDOG_CYCLES = 30
+        res = sim.run_measurement(warmup=5, measure=5, drain_limit=10_000)
+        assert res.abort == "watchdog"
+        assert not res.drained
+        assert res.undrained_packets == 5
+        # well before the drain budget: the watchdog cut the run short
+        assert res.end_cycle < 10 + 10_000
+
+    def test_drain_limit_abort(self):
+        # Flits keep moving (no watchdog) but the window never drains.
+        sim = Simulator(FakeNet(injected=8, ejected=3))
+        res = sim.run_measurement(warmup=5, measure=5, drain_limit=50)
+        assert res.abort == "drain_limit"
+        assert not res.drained
+        assert res.undrained_packets == 5
+        assert res.end_cycle == 10 + 50
+
+    def test_watchdog_still_raises_during_measurement(self):
+        # A deadlock before the drain phase invalidates the window; that
+        # path must keep raising rather than return a result.
+        sim = Simulator(FakeNet(injected=8, ejected=3, move_until=0))
+        sim.WATCHDOG_CYCLES = 10
+        with pytest.raises(SimulationError):
+            sim.run_measurement(warmup=50, measure=50, drain_limit=100)
