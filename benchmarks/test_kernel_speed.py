@@ -1,0 +1,128 @@
+"""Kernel-scheduling speed benchmark: cycles/sec of the simulation core.
+
+Unlike the figure macro-benchmarks this one is self-timed through
+:class:`~repro.noc.stats.RunMetrics` (no pytest-benchmark dependency, so
+it also runs in the minimal CI environment). The workload isolates the
+scheduling kernel: RAIR arbitration on an 8x8 mesh with uniform-random
+*streaming* traffic — 8-flit packets in 8-deep VCs, so each packet-hop
+is one VA decision followed by several cycles of pure switch traversal,
+exactly the pattern the wake lists exist to serve. XY routing keeps the
+per-head routing work small so the measured time is kernel, not rank
+computation. The sweep covers a low rate (most routers asleep), a mid
+rate, and saturation (everything busy; the wake lists degenerate to the
+old full scan and must stay close to its cost).
+
+``results/BENCH_kernel_baseline.json`` pins the pre-refactor polling
+kernel's numbers on the same workload; the emitter test combines them
+with the current run into ``results/BENCH_kernel.json`` so the speedup
+of the event-driven kernel stays recorded alongside the figures. Cross-
+session comparisons drift with machine load — when regenerating the
+baseline, run old and new *interleaved in one process* (import-swap the
+two trees) and keep the best of each; that is how the committed numbers
+were produced.
+
+Effort comes from ``REPRO_BENCH_EFFORT`` like the other benchmarks:
+``smoke`` does one short repetition per rate (CI), anything else does
+three full-length repetitions and keeps the best (timing noise on shared
+machines only ever slows a run down).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import build_simulation
+from repro.noc.config import NocConfig
+from repro.traffic.patterns import UniformPattern
+from repro.traffic.synthetic import FixedLength, SyntheticTrafficSource
+
+RATES = (0.05, 0.2, 0.4)  # low / mid / saturation
+PACKET_FLITS = 8
+WARMUP, MEASURE, REPEATS = 300, 1500, 3
+SMOKE_MEASURE, SMOKE_REPEATS = 300, 1
+
+_speeds: dict[float, float] = {}  # rate -> best cycles/sec, filled by the sweep
+
+
+def kernel_cycles_per_sec(rate: float, measure: int = MEASURE, repeats: int = REPEATS,
+                          seed: int = 11) -> float:
+    """Best-of-``repeats`` kernel throughput on the streaming workload.
+
+    Kept importable and dependency-light on purpose: the same function is
+    run against the pre-refactor tree (via a git worktree on PYTHONPATH)
+    to regenerate the baseline file.
+    """
+    best = 0.0
+    for _ in range(repeats):
+        cfg = NocConfig(vc_depth=PACKET_FLITS, max_packet_flits=PACKET_FLITS)
+        sim, net = build_simulation(cfg, scheme="rair", routing="xy")
+        sim.add_traffic(
+            SyntheticTrafficSource(
+                nodes=range(cfg.num_nodes),
+                rate=rate,
+                pattern=UniformPattern(net.topology),
+                app_id=0,
+                seed=seed,
+                lengths=FixedLength(PACKET_FLITS),
+            )
+        )
+        res = sim.run_measurement(warmup=WARMUP, measure=measure, drain_limit=10_000)
+        best = max(best, res.metrics.cycles_per_sec)
+    return best
+
+
+@pytest.mark.parametrize("rate", RATES)
+def test_kernel_speed(rate, effort):
+    smoke = effort.name == "SMOKE"
+    cps = kernel_cycles_per_sec(
+        rate,
+        measure=SMOKE_MEASURE if smoke else MEASURE,
+        repeats=SMOKE_REPEATS if smoke else REPEATS,
+    )
+    assert cps > 0.0
+    _speeds[rate] = cps
+    print(f"\nkernel @ rate {rate}: {cps:,.0f} cycles/sec")
+
+
+def test_emit_bench_json(results_dir, effort):
+    """Write results/BENCH_kernel.json from this run + the pinned baseline."""
+    missing = [r for r in RATES if r not in _speeds]
+    if missing:
+        pytest.skip(f"speed sweep incomplete (missing rates {missing})")
+    baseline_path = results_dir / "BENCH_kernel_baseline.json"
+    baseline = json.loads(baseline_path.read_text()) if baseline_path.exists() else None
+    report = {
+        "workload": {
+            "mesh": "8x8",
+            "scheme": "rair",
+            "routing": "xy",
+            "traffic": f"uniform random, {PACKET_FLITS}-flit packets, "
+                       f"{PACKET_FLITS}-deep VCs",
+            "warmup": WARMUP,
+            "measure": SMOKE_MEASURE if effort.name == "SMOKE" else MEASURE,
+            "repeats": SMOKE_REPEATS if effort.name == "SMOKE" else REPEATS,
+            "effort": effort.name.lower(),
+        },
+        "cycles_per_sec": {str(r): _speeds[r] for r in RATES},
+    }
+    if baseline is not None:
+        report["baseline"] = baseline
+        base_speeds = baseline["cycles_per_sec"]
+        report["speedup"] = {
+            str(r): _speeds[r] / base_speeds[str(r)]
+            for r in RATES
+            if str(r) in base_speeds and base_speeds[str(r)] > 0
+        }
+    if effort.name == "SMOKE":
+        # Liveness check only: smoke timings are noise, so don't let a CI
+        # run clobber the recorded full-effort numbers.
+        print("\nsmoke effort: report built but not persisted")
+    else:
+        out = results_dir / "BENCH_kernel.json"
+        out.write_text(json.dumps(report, indent=1) + "\n")
+        print(f"\nwrote {out}")
+    if "speedup" in report:
+        for r, s in report["speedup"].items():
+            print(f"  rate {r}: {s:.2f}x vs polling kernel")

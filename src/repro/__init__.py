@@ -51,13 +51,16 @@ def build_simulation(
     routing: str = "local",
     policy_kwargs: dict | None = None,
     routing_kwargs: dict | None = None,
+    trace=None,
 ) -> tuple[Simulator, Network]:
     """Convenience constructor: (simulator, network) for a named scheme.
 
     ``scheme`` is an arbitration-policy name (``ro_rr``, ``age``,
     ``ro_rank``, ``rair``...), ``routing`` a routing-algorithm name
     (``xy``, ``local``, ``dbar``). Traffic sources are added by the caller
-    via ``sim.add_traffic``.
+    via ``sim.add_traffic``. ``trace`` is an optional
+    :class:`~repro.noc.trace.KernelTrace` the kernel emits scheduling
+    events into.
     """
     config = config or NocConfig()
     net = Network(
@@ -65,5 +68,6 @@ def build_simulation(
         routing=make_routing(routing, **(routing_kwargs or {})),
         policy=make_policy(scheme, **(policy_kwargs or {})),
         region_map=region_map,
+        trace=trace,
     )
     return Simulator(net), net

@@ -114,7 +114,7 @@ class ArbitrationPolicy:
         ptr = router.va_ptr[out_port][out_vc]
         total = router.num_ports * router.total_vcs
         if self.uses_va_priority:
-            cls = router.config.vc_class(out_vc)
+            cls = router.vc_class_of[out_vc]
             prio = lambda v: self.va_out_priority(router, cls, v)  # noqa: E731
         else:
             prio = None

@@ -63,6 +63,7 @@ class RairPolicy(ArbitrationPolicy):
             raise TypeError(f"stages must be a Stage flag, got {stages!r}")
         self.stages = stages
         self.dpa = dpa or DpaConfig()
+        self._dpa_dynamic = self.dpa.mode == "dynamic"
         self.uses_va_priority = bool(stages & Stage.VA)
         self.uses_sa_priority = bool(stages & Stage.SA)
         if self.uses_va_priority and self.uses_sa_priority:
@@ -91,8 +92,8 @@ class RairPolicy(ArbitrationPolicy):
         port_options = [o for o in options if o[0] == first_port]
         if len(port_options) > 1:
             want = preferred_class(invc.is_native)
-            cfg = router.config
-            preferred = [o for o in port_options if cfg.vc_class(o[1]) is want]
+            classes = router.vc_class_of
+            preferred = [o for o in port_options if classes[o[1]] is want]
             if preferred:
                 port_options = preferred
         if len(port_options) == 1:
@@ -119,7 +120,7 @@ class RairPolicy(ArbitrationPolicy):
 
     # -- DPA update -----------------------------------------------------------------
     def end_router_cycle(self, router, cycle: int) -> None:
-        if self.dpa.mode == "dynamic":
+        if self._dpa_dynamic:
             router.native_high = hysteresis_update(
                 router.native_high, router.ovc_n, router.ovc_f, self.dpa.delta
             )

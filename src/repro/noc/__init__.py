@@ -24,6 +24,7 @@ from repro.noc.network import Network
 from repro.noc.sim import Simulator
 from repro.noc.stats import LatencyStats, NetworkStats
 from repro.noc.timing import mean_ur_hops, zero_load_latency
+from repro.noc.trace import KernelTrace, RecordingTrace
 from repro.noc.topology import (
     EAST,
     LOCAL,
@@ -44,6 +45,8 @@ __all__ = [
     "Simulator",
     "LatencyStats",
     "NetworkStats",
+    "KernelTrace",
+    "RecordingTrace",
     "zero_load_latency",
     "mean_ur_hops",
     "MeshTopology",

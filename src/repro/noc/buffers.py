@@ -15,6 +15,22 @@ A VC in ``VA`` state has a head flit buffered and competes for an output VC
 each cycle; a VC in ``ACTIVE`` state owns a downstream VC and competes for
 the switch whenever it has a flit buffered, a credit available and its
 pipeline-stage timestamps allow.
+
+The VC is not polled for schedulability: it *reports* its transitions to
+the caller, who maintains the router's wake lists (see ``Router.va_pending``
+/ ``Router.sa_pending`` and the "Kernel scheduling" section of
+``docs/ARCHITECTURE.md``):
+
+* :meth:`head_arrive` makes the VC VA-eligible (from the next cycle) —
+  the caller arms the VA wake list;
+* :meth:`body_arrive` returns True when the arrival made an ACTIVE VC
+  newly SA-schedulable (its buffer had drained) — the caller re-arms the
+  SA wake list;
+* :meth:`send_flit` returns True on the tail flit (VC drained *and*
+  released) — the caller retires the VC from the SA wake list.
+
+:meth:`wants_va` / :meth:`wants_sa` remain as the brute-force eligibility
+oracle that the wake lists are cross-checked against in tests.
 """
 
 from __future__ import annotations
@@ -49,6 +65,7 @@ class InputVC:
         "out_port",
         "out_vc",
         "route_ports",
+        "escape_port",
         "va_ready",
         "sa_ready",
         "is_native",
@@ -69,6 +86,9 @@ class InputVC:
         self.out_port = -1
         self.out_vc = -1
         self.route_ports: tuple[int, ...] | None = None
+        # Cached alongside route_ports (both are pure functions of the
+        # resident packet); only meaningful while route_ports is not None.
+        self.escape_port = -1
         self.va_ready = 0
         self.sa_ready = 0
         # Native/foreign classification of the resident packet w.r.t. this
@@ -95,8 +115,13 @@ class InputVC:
         self.va_ready = cycle + 1
         self.is_native = native
 
-    def body_arrive(self, cycle: int) -> None:
-        """A subsequent flit of the resident packet arrives at ``cycle``."""
+    def body_arrive(self, cycle: int) -> bool:
+        """A subsequent flit of the resident packet arrives at ``cycle``.
+
+        Returns True when this arrival made the VC newly SA-schedulable:
+        it is ACTIVE (owns a downstream VC) and its buffer had fully
+        drained, so the switch-allocation wake list forgot about it.
+        """
         pkt = self.pkt
         if pkt is None:
             raise SimulationError(
@@ -104,8 +129,10 @@ class InputVC:
             )
         if self.flits_recv >= pkt.length:
             raise SimulationError(f"too many flits arrived for {pkt!r}")
+        was_drained = not self.arrivals
         self.arrivals.append(cycle)
         self.flits_recv += 1
+        return was_drained and self.state == VC_ACTIVE
 
     # -- queries --------------------------------------------------------------
     def occupancy(self) -> int:

@@ -12,7 +12,16 @@ The :class:`Network` owns all routers plus the cross-router machinery:
 * the region map (``region_of`` / router ``app_id`` tags) that RAIR and
   DBAR read,
 * statistics and ejection callbacks (the PARSEC-like traffic model hooks
-  replies onto request ejections).
+  replies onto request ejections),
+* the kernel's *active set* — the routers currently holding at least one
+  packet. :meth:`Network.run_router_phases` walks only those (in node
+  order, so results never depend on set internals); routers join the set
+  when a head flit arrives and leave when their last packet retires. All
+  cross-router wake-up events flow through here: flit deliveries arm the
+  receiving router's VA/SA wake lists, credit returns re-arm VCs parked
+  on that credit (see :mod:`repro.noc.router`),
+* the optional :class:`~repro.noc.trace.KernelTrace` hook (``trace``)
+  that the kernel emits scheduling events into.
 """
 
 from __future__ import annotations
@@ -46,6 +55,10 @@ class Network:
         Optional :class:`~repro.core.regions.RegionMap`; without one, every
         node is unassigned (app -1): all traffic is foreign everywhere and
         DBAR's truncation sees a single region — i.e. a conventional NoC.
+    trace:
+        Optional :class:`~repro.noc.trace.KernelTrace` the kernel emits
+        scheduling events into; ``None`` (the default) traces nothing and
+        costs one pointer comparison per event.
     """
 
     def __init__(
@@ -54,8 +67,10 @@ class Network:
         routing,
         policy,
         region_map: RegionMap | None = None,
+        trace=None,
     ):
         self.config = config
+        self.trace = trace
         self.topology = MeshTopology(config.width, config.height)
         self.region_map = region_map
         if region_map is not None:
@@ -77,6 +92,10 @@ class Network:
         # Event queues: cycle -> list of pending deliveries.
         self._arrivals: dict[int, list] = {}
         self._credits: dict[int, list] = {}
+        # Per-flit hot-path constants (attribute chains cost in the kernel).
+        self._link_lat = config.link_latency
+        self._credit_lat = config.credit_latency
+        self._neighbor = self.topology.neighbor
         # Injection: one FIFO per (node, vnet) + a serializing link.
         self.queues = [
             [deque() for _ in range(config.num_vnets)] for _ in range(self.topology.num_nodes)
@@ -84,12 +103,24 @@ class Network:
         self._inject_busy_until = [0] * self.topology.num_nodes
         self._inj_vc_ptr = [0] * self.topology.num_nodes
         self._pending_nodes: set[int] = set()
+        # Routers currently holding >= 1 packet; the per-cycle router
+        # phases walk this (sorted) instead of every router on the chip.
+        # The sorted walk order is cached and rebuilt only when the set
+        # changes (routers join/leave far less often than cycles tick).
+        self._active: set[int] = set()
+        self._active_list: list[int] = []
+        self._active_dirty = False
 
-        # Congestion table for DBAR / diagnostics: flits buffered per router.
-        self.occupancy = np.zeros(self.topology.num_nodes, dtype=np.int64)
+        # Congestion table for DBAR / diagnostics: flits buffered per
+        # router. A plain list, not an ndarray: it takes two scalar
+        # updates per flit on the kernel's hottest path, where ndarray
+        # item assignment costs several times what a list write does.
+        self.occupancy = [0] * self.topology.num_nodes
         # Per-(router, output port) flit counters for link-utilization
-        # reports (port 0 counts ejections into the local NI).
-        self.link_flits = np.zeros((self.topology.num_nodes, 5), dtype=np.int64)
+        # reports (port 0 counts ejections into the local NI). Nested
+        # lists for the same per-flit-update reason; the ``link_flits``
+        # property serves consumers the ndarray view they index.
+        self._link_flits = [[0] * 5 for _ in range(self.topology.num_nodes)]
         # What DBAR actually sees: a quantized snapshot of the occupancy,
         # refreshed periodically — real DBAR ships coarse congestion levels
         # over dedicated wires with propagation delay, not exact per-cycle
@@ -119,6 +150,17 @@ class Network:
         # state built above (counters, topology, routers) when binding.
         routing.attach(self)
         policy.attach(self)
+        # Per-cycle work the kernel can prove unnecessary is skipped:
+        # the congestion snapshot only feeds routing algorithms that
+        # declare ``uses_congestion`` (DBAR), and the per-router policy
+        # hook is only walked when the policy actually overrides it.
+        self._congestion_live = bool(getattr(routing, "uses_congestion", False))
+        from repro.arbitration.base import ArbitrationPolicy
+
+        self._policy_router_hook = (
+            getattr(type(policy), "end_router_cycle", None)
+            is not ArbitrationPolicy.end_router_cycle
+        )
 
     def set_measure_window(self, window: tuple[int, int]) -> None:
         """Install the injection-cycle window whose packets must drain."""
@@ -156,7 +198,10 @@ class Network:
         if not self._pending_nodes:
             return
         done = []
-        for node in self._pending_nodes:
+        # Sorted so injection order never depends on hash-set internals
+        # (per-node placements are independent, but determinism should be
+        # structural, not an artifact of what each step happens to touch).
+        for node in sorted(self._pending_nodes):
             if self._inject_busy_until[node] > cycle:
                 continue
             router = self.routers[node]
@@ -206,10 +251,15 @@ class Network:
             lst.append(item)
 
     def refresh_congestion(self, cycle: int) -> None:
-        """Update the quantized congestion snapshot DBAR reads."""
-        if cycle % self.congestion_period == 0:
+        """Update the quantized congestion snapshot DBAR reads.
+
+        A no-op unless the installed routing algorithm declares
+        ``uses_congestion`` (only DBAR does) — nothing else reads the
+        snapshot, so refreshing it for XY/Duato runs is wasted work.
+        """
+        if self._congestion_live and cycle % self.congestion_period == 0:
             np.minimum(
-                self.occupancy // self.congestion_quantum,
+                np.asarray(self.occupancy, dtype=np.int64) // self.congestion_quantum,
                 self.congestion_cap,
                 out=self.congestion,
             )
@@ -222,13 +272,32 @@ class Network:
                 self._deliver_flit(node, port, vc, pkt, cycle)
         credits = self._credits.pop(cycle, None)
         if credits:
+            tr = self.trace
+            depth = self.config.vc_depth
+            routers = self.routers
             for node, port, vc in credits:
-                router = self.routers[node]
-                router.out_credits[port][vc] += 1
-                if router.out_credits[port][vc] > self.config.vc_depth:
+                router = routers[node]
+                out_credits = router.out_credits[port]
+                c = out_credits[vc] + 1
+                out_credits[vc] = c
+                if c > depth:
                     raise SimulationError(
                         f"credit overflow at node {node} port {port} vc {vc}"
                     )
+                # Re-arm the owning VC if it parked credit-starved, and
+                # wake VA-parked VCs when the slot fills back to depth
+                # (Router.credit_arrived inlined — this loop runs once
+                # per flit ever sent over a link).
+                owner = router.out_owner[port][vc]
+                if owner is not None:
+                    router.sa_pending |= 1 << (owner.port * router.total_vcs + owner.vc)
+                elif c == depth:
+                    parked = router.va_parked
+                    if parked:
+                        router.va_pending |= parked
+                        router.va_parked = 0
+                if tr is not None:
+                    tr.credit_return(cycle, node, port, vc)
 
     def _deliver_flit(self, node: int, port: int, vc: int, pkt, cycle: int) -> None:
         router = self.routers[node]
@@ -236,13 +305,20 @@ class Network:
         if pkt is not None:
             native = router.app_id >= 0 and pkt.app_id == router.app_id
             invc.head_arrive(pkt, cycle, native)
+            router.arm_va(invc)
+            if router.busy_vcs == 0:
+                self._active.add(node)
+                self._active_dirty = True
+                if self.trace is not None:
+                    self.trace.wake(cycle, node)
             router.busy_vcs += 1
             if native:
                 router.ovc_n += 1
             else:
                 router.ovc_f += 1
         else:
-            invc.body_arrive(cycle)
+            if invc.body_arrive(cycle):
+                router.arm_sa(invc)
         self.occupancy[node] += 1
 
     # -- flit transmission (called by routers' SA stage) ---------------------------------
@@ -259,23 +335,43 @@ class Network:
         node = router.node
         self.occupancy[node] -= 1
         self.flits_moved += 1
-        self.link_flits[node, out_port] += 1
-        self.app_flits_delivered[pkt.app_id] = (
-            self.app_flits_delivered.get(pkt.app_id, 0) + 1
-        )
+        self._link_flits[node][out_port] += 1
+        try:
+            self.app_flits_delivered[pkt.app_id] += 1
+        except KeyError:
+            self.app_flits_delivered[pkt.app_id] = 1
+        if self.trace is not None:
+            self.trace.flit_send(cycle, node, out_port, out_vc, pkt.pid, is_tail)
 
         # Free one buffer slot -> credit back to the upstream router.
         if in_port != LOCAL:
-            upstream = self.topology.neighbor[node][in_port]
-            self._push(
-                self._credits,
-                cycle + self.config.credit_latency,
-                (upstream, OPPOSITE[in_port], in_vc),
-            )
+            upstream = self._neighbor[node][in_port]
+            when = cycle + self._credit_lat
+            lst = self._credits.get(when)
+            item = (upstream, OPPOSITE[in_port], in_vc)
+            if lst is None:
+                self._credits[when] = [item]
+            else:
+                lst.append(item)
 
         if is_tail:
             router.out_owner[out_port][out_vc] = None
+            router.vc_retired(invc)
+            if out_port == LOCAL:
+                # An ejection-port VC frees with its credits intact, so a
+                # VA option is born right now: re-arm the parked VCs. A
+                # link-port VC frees with at least one credit outstanding
+                # (the tail flit just consumed one), so its option is born
+                # only when the final credit returns — credit_arrived
+                # handles that wake; waking here too would be harmless
+                # but pointless.
+                router.wake_parked()
             router.busy_vcs -= 1
+            if router.busy_vcs == 0:
+                self._active.discard(node)
+                self._active_dirty = True
+                if self.trace is not None:
+                    self.trace.sleep(cycle, node)
             if native:
                 router.ovc_n -= 1
             else:
@@ -298,19 +394,64 @@ class Network:
                 raise SimulationError(
                     f"negative credits at node {node} port {out_port} vc {out_vc}"
                 )
-            dst = self.topology.neighbor[node][out_port]
+            dst = self._neighbor[node][out_port]
             if is_head:
                 pkt.hops += 1
-            self._push(
-                self._arrivals,
-                cycle + self.config.link_latency,
-                (dst, OPPOSITE[out_port], out_vc, pkt if is_head else None),
-            )
+            when = cycle + self._link_lat
+            lst = self._arrivals.get(when)
+            item = (dst, OPPOSITE[out_port], out_vc, pkt if is_head else None)
+            if lst is None:
+                self._arrivals[when] = [item]
+            else:
+                lst.append(item)
+
+    # -- per-cycle router phases ----------------------------------------------------------
+    def run_router_phases(self, cycle: int) -> None:
+        """Run VA, SA, and the policy end-of-cycle hook on active routers.
+
+        One walk over the active set (in node order, so results never
+        depend on set internals) runs all three phases per router. Fusing
+        the old three network-wide loops is result-identical because no
+        phase reads another router's same-cycle phase output: VA and SA
+        touch only router-local state, every cross-router effect of SA
+        (flit and credit delivery) is queued for a strictly later cycle
+        (``link_latency``/``credit_latency`` are validated positive), and
+        the per-router hook reads only its own router, whose VA/SA have
+        already run by then. The snapshot is taken once: a router can only
+        *leave* the set mid-walk (drain during its own SA) — joining
+        requires a flit delivery, and those all happen before this runs.
+        """
+        if not self._active:
+            return
+        if self._active_dirty:
+            self._active_list = sorted(self._active)
+            self._active_dirty = False
+        routers = self.routers
+        policy = self.policy
+        # The hook is skipped entirely for policies keeping the base no-op.
+        hook = policy.end_router_cycle if self._policy_router_hook else None
+        for node in self._active_list:
+            router = routers[node]
+            if router.va_pending:
+                router.do_va(cycle)
+            if router.sa_pending:
+                router.do_sa(cycle)
+            if hook is not None and router.busy_vcs:
+                hook(router, cycle)
 
     # -- queries --------------------------------------------------------------------------
+    @property
+    def link_flits(self):
+        """Per-(router, output port) flit counters as an ndarray snapshot."""
+        return np.asarray(self._link_flits, dtype=np.int64)
+
     def busy_routers(self):
         """Routers currently holding at least one packet."""
         return [r for r in self.routers if r.busy_vcs]
+
+    def active_nodes(self) -> list[int]:
+        """Sorted nodes in the kernel's active set (holding >= 1 packet)."""
+        return sorted(self._active)
 
     def has_pending_events(self) -> bool:
         """Whether any arrivals or credits are still scheduled."""
@@ -331,4 +472,4 @@ class Network:
 
     def total_buffered_flits(self) -> int:
         """Flits buffered across the whole chip (cross-check vs occupancy)."""
-        return int(self.occupancy.sum())
+        return sum(self.occupancy)

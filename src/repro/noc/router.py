@@ -1,4 +1,4 @@
-"""Canonical pipelined virtual-channel router.
+"""Canonical pipelined virtual-channel router with an event-driven kernel.
 
 Pipeline model (per flit, under no contention)::
 
@@ -14,12 +14,40 @@ points the paper's MSP mechanism targets (VA_out, SA_in, SA_out) are
 modelled as explicit per-cycle arbitrations through the installed
 :class:`~repro.arbitration.base.ArbitrationPolicy`.
 
+Scheduling is event-driven rather than polled: instead of scanning every
+input VC every cycle, the router keeps explicit wake lists —
+
+``va_pending`` / ``va_parked``
+    Every VC in VA state is in exactly one of the two. ``do_va`` walks
+    ``va_pending`` in ascending (port, vc) key order; a VC whose option
+    set is empty (every admissible downstream VC owned or not fully
+    drained) is *parked* and re-armed only when this router's resources
+    change (a credit returns or an output VC's owner releases) — see
+    :meth:`wake_parked` / :meth:`credit_arrived`.
+``sa_pending``
+    ACTIVE VCs presumed schedulable. ``do_sa`` walks it in ascending key
+    order; VCs found drained (no flit buffered) or credit-starved are
+    dropped and re-armed by the matching event (body-flit arrival,
+    credit return via :meth:`credit_arrived`), while VCs blocked on pure
+    pipeline timing (flit arrived this cycle, post-VA setup) stay listed
+    — they become eligible by the next cycle with no external event.
+
+The lists are integer bitmasks over the flat VC key
+``port * total_vcs + vc``: arm/retire are single OR/AND-NOT operations,
+re-arming all parked VCs is one OR, and walking lowest-bit-first yields
+exactly the (port, vc) lexicographic order of the old full scan — so the
+kernel is bit-identical to the polling kernel while never touching an
+idle VC. The invariants are cross-checked against the brute-force
+``wants_va`` / ``wants_sa`` oracle in
+``tests/integration/test_kernel_invariants.py``.
+
 Per-router RAIR state lives here so the policy hot path is field access:
 ``app_id`` (from the region map), the DPA occupied-VC counters ``ovc_n`` /
 ``ovc_f`` (updated on head arrival and tail departure — the "status of all
 VCs in a router" rule of Section IV.C), and the DPA output bit
 ``native_high`` (written by the policy's end-of-cycle hook, read by the
-next cycle's arbitrations).
+next cycle's arbitrations). Per-VC config lookups the arbitration inner
+loops need (``vc_class_of``) are precomputed tuples for the same reason.
 """
 
 from __future__ import annotations
@@ -29,6 +57,16 @@ from repro.noc.config import NocConfig
 from repro.noc.topology import LOCAL, NUM_PORTS
 
 __all__ = ["Router"]
+
+
+def _mask_keys(mask: int) -> list[int]:
+    """Decode a wake-list bitmask into its ascending list of VC keys."""
+    keys = []
+    while mask:
+        low = mask & -mask
+        keys.append(low.bit_length() - 1)
+        mask ^= low
+    return keys
 
 
 class Router:
@@ -42,6 +80,9 @@ class Router:
         "total_vcs",
         "app_id",
         "in_vcs",
+        "vcs",
+        "vc_class_of",
+        "vc_depth",
         "out_owner",
         "out_credits",
         "va_ptr",
@@ -49,6 +90,11 @@ class Router:
         "sa_out_ptr",
         "va_req_ptr",
         "busy_vcs",
+        "va_pending",
+        "va_parked",
+        "sa_pending",
+        "_vnet_range",
+        "_first_data_vc",
         "ovc_n",
         "ovc_f",
         "native_high",
@@ -75,6 +121,13 @@ class Router:
             ]
             for port in range(NUM_PORTS)
         ]
+        # Flat view indexed by the wake-list key (port * total_vcs + vc),
+        # plus per-VC config constants the arbitration inner loops need.
+        self.vcs = [invc for port_vcs in self.in_vcs for invc in port_vcs]
+        self.vc_class_of = tuple(config.vc_class(vc) for vc in range(self.total_vcs))
+        self.vc_depth = config.vc_depth
+        self._vnet_range = [config.vnet_vcs(v) for v in range(config.num_vnets)]
+        self._first_data_vc = [r.start + config.escape_vcs for r in self._vnet_range]
         self.out_owner = [[None] * self.total_vcs for _ in range(NUM_PORTS)]
         self.out_credits = [[config.vc_depth] * self.total_vcs for _ in range(NUM_PORTS)]
         self.va_ptr = [[0] * self.total_vcs for _ in range(NUM_PORTS)]
@@ -82,65 +135,186 @@ class Router:
         self.sa_out_ptr = [0] * NUM_PORTS
         self.va_req_ptr = [0] * NUM_PORTS
         self.busy_vcs = 0
+        # Wake-list bitmasks (see module docstring).
+        self.va_pending = 0
+        self.va_parked = 0
+        self.sa_pending = 0
         # DPA state (paper Section IV.C); policies may ignore it.
         self.ovc_n = 0
         self.ovc_f = 0
         self.native_high = False
 
+    # -- wake-list maintenance ------------------------------------------------------
+    def vc_key(self, invc: InputVC) -> int:
+        """Flat wake-list key of an input VC; sorts like (port, vc)."""
+        return invc.port * self.total_vcs + invc.vc
+
+    def arm_va(self, invc: InputVC) -> None:
+        """A head flit arrived: the VC will compete in VA from next cycle."""
+        self.va_pending |= 1 << (invc.port * self.total_vcs + invc.vc)
+
+    def arm_sa(self, invc: InputVC) -> None:
+        """A body flit refilled a drained ACTIVE VC: re-arm it for SA."""
+        self.sa_pending |= 1 << (invc.port * self.total_vcs + invc.vc)
+
+    def wake_parked(self) -> None:
+        """Re-arm every VA-parked VC after a resource-freeing event.
+
+        Called when an output VC's owner releases or a credit returns —
+        the only two events that can turn an empty VA option set
+        non-empty. Waking is conservative (the walk re-checks options),
+        so over-waking costs a rescan, never correctness.
+        """
+        parked = self.va_parked
+        if parked:
+            self.va_pending |= parked
+            self.va_parked = 0
+
+    def credit_arrived(self, port: int, vc: int) -> None:
+        """A credit for output ``(port, vc)`` was delivered to this router.
+
+        Waking is precise: a credit can only affect the schedulability of
+        its own output VC, so either the VC is owned (re-arm the owner,
+        which may have parked itself credit-starved) or — once the counter
+        is back to full depth — the VC just became VA-allocatable and the
+        parked VCs get to retry. Credits that leave an unowned VC still
+        partially drained change nothing and wake nobody.
+        """
+        owner = self.out_owner[port][vc]
+        if owner is not None:
+            self.sa_pending |= 1 << (owner.port * self.total_vcs + owner.vc)
+        elif self.out_credits[port][vc] == self.vc_depth:
+            parked = self.va_parked
+            if parked:
+                self.va_pending |= parked
+                self.va_parked = 0
+
+    def vc_retired(self, invc: InputVC) -> None:
+        """The tail flit left: drop the VC from the SA wake list.
+
+        Releasing ``out_owner`` — and deciding whether the release makes a
+        VA option appear (only ejection-port VCs free with their credits
+        intact) — is the caller's job; this only handles the wake list.
+        """
+        self.sa_pending &= ~(1 << (invc.port * self.total_vcs + invc.vc))
+
     # -- VC allocation ------------------------------------------------------------
+    def va_options(self, invc: InputVC) -> list[tuple[int, int]]:
+        """Allocatable ``(out_port, out_vc)`` pairs for a VA-state VC.
+
+        This is the single source of truth for VA admissibility — the
+        ``do_va`` walk and the invariant tests both use it, so the parked
+        condition ("no options") can never drift from the hot path.
+        Ports appear in the routing algorithm's preference order and,
+        within a port, adaptive VCs before the escape VCs.
+        """
+        routing = self.network.routing
+        node = self.node
+        pkt = invc.pkt
+        ports = invc.route_ports
+        if ports is None:
+            ports = routing.admissible_ports(node, pkt)
+            invc.route_ports = ports
+            invc.escape_port = routing.escape_port(node, pkt)
+        ranked = routing.rank_ports(node, pkt, ports) if len(ports) > 1 else ports
+        vnet = pkt.vnet
+        vnet_vcs = self._vnet_range[vnet]
+        first_data_vc = self._first_data_vc[vnet]
+        depth = self.vc_depth
+        escape_port = invc.escape_port
+        options: list[tuple[int, int]] = []
+        for p in ranked:
+            owner_p = self.out_owner[p]
+            if p == LOCAL:
+                # Ejection: the escape restriction is moot, any VC
+                # of the vnet may be requested.
+                for vc in vnet_vcs:
+                    if owner_p[vc] is None:
+                        options.append((p, vc))
+            else:
+                # Atomic VCs (Table 1): a downstream VC may only be
+                # reallocated once it has fully drained — owner
+                # released *and* all credits back (no flit of the
+                # previous packet buffered or in flight).
+                credits_p = self.out_credits[p]
+                for vc in range(first_data_vc, vnet_vcs.stop):
+                    if owner_p[vc] is None and credits_p[vc] == depth:
+                        options.append((p, vc))
+                # Escape VCs are only admissible on the
+                # dimension-order port (Duato deadlock freedom) and
+                # are tried after the adaptive VCs of their port.
+                if p == escape_port:
+                    for vc in range(vnet_vcs.start, first_data_vc):
+                        if owner_p[vc] is None and credits_p[vc] == depth:
+                            options.append((p, vc))
+        return options
+
     def do_va(self, cycle: int) -> None:
         """Run VA_in (request selection) and VA_out (grant) for this cycle."""
+        mask = self.va_pending
         requests: dict[tuple[int, int], list[InputVC]] | None = None
         network = self.network
-        routing = network.routing
         policy = network.policy
-        config = self.config
-        node = self.node
-        for port_vcs in self.in_vcs:
-            for invc in port_vcs:
-                if invc.state != VC_VA or cycle < invc.va_ready:
+        vcs = self.vcs
+        if not mask:
+            return
+        if not (mask & (mask - 1)):
+            # Lone VA candidate: its request is granted unopposed, so skip
+            # the request-grouping dict. choose_request still runs — it
+            # both picks among the options and advances the rotation
+            # pointer, exactly as on the general path.
+            invc = vcs[mask.bit_length() - 1]
+            if cycle < invc.va_ready:
+                return
+            options = self.va_options(invc)
+            if not options:
+                self.va_pending = 0
+                self.va_parked |= mask
+                return
+            p, vc = policy.choose_request(self, invc, options)
+            self.out_owner[p][vc] = invc
+            invc.grant_vc(p, vc, cycle)
+            self.va_pending = 0
+            self.sa_pending |= mask
+            tr = network.trace
+            if tr is not None:
+                tr.va_grant(cycle, self.node, invc.port, invc.vc, p, vc, invc.pkt.pid)
+            return
+        # Walk port by port, shifting each port's submask down to a small
+        # int — bit tricks on the narrow masks stay single-word, and the
+        # (port, vc) ascending order of the old full scan is preserved.
+        total = self.total_vcs
+        port_all = (1 << total) - 1
+        base = 0
+        while mask >> base:
+            pm = (mask >> base) & port_all
+            parks = 0
+            while pm:
+                low = pm & -pm
+                pm ^= low
+                invc = vcs[base + low.bit_length() - 1]
+                # Pending invariant: state is VC_VA. A VC armed this cycle
+                # (head just arrived) waits out its buffer-write cycle here.
+                if cycle < invc.va_ready:
                     continue
-                pkt = invc.pkt
-                ports = invc.route_ports
-                if ports is None:
-                    ports = routing.admissible_ports(node, pkt)
-                    invc.route_ports = ports
-                ranked = routing.rank_ports(node, pkt, ports) if len(ports) > 1 else ports
-                vnet_vcs = config.vnet_vcs(pkt.vnet)
-                first_data_vc = vnet_vcs.start + config.escape_vcs
-                depth = config.vc_depth
-                options: list[tuple[int, int]] = []
-                for p in ranked:
-                    owner_p = self.out_owner[p]
-                    if p == LOCAL:
-                        # Ejection: the escape restriction is moot, any VC
-                        # of the vnet may be requested.
-                        for vc in vnet_vcs:
-                            if owner_p[vc] is None:
-                                options.append((p, vc))
-                    else:
-                        # Atomic VCs (Table 1): a downstream VC may only be
-                        # reallocated once it has fully drained — owner
-                        # released *and* all credits back (no flit of the
-                        # previous packet buffered or in flight).
-                        credits_p = self.out_credits[p]
-                        for vc in range(first_data_vc, vnet_vcs.stop):
-                            if owner_p[vc] is None and credits_p[vc] == depth:
-                                options.append((p, vc))
-                        # Escape VCs are only admissible on the
-                        # dimension-order port (Duato deadlock freedom) and
-                        # are tried after the adaptive VCs of their port.
-                        if p == routing.escape_port(node, pkt):
-                            for vc in range(vnet_vcs.start, first_data_vc):
-                                if owner_p[vc] is None and credits_p[vc] == depth:
-                                    options.append((p, vc))
+                options = self.va_options(invc)
                 if not options:
+                    # Every admissible downstream VC is owned or draining;
+                    # only a credit return or owner release changes that.
+                    parks |= low
                     continue
                 req = policy.choose_request(self, invc, options)
                 if requests is None:
                     requests = {}
                 requests.setdefault(req, []).append(invc)
+            if parks:
+                parks <<= base
+                self.va_pending ^= parks
+                self.va_parked |= parks
+            base += total
         if requests:
+            tr = network.trace
+            total = self.total_vcs
             for (p, vc), contenders in requests.items():
                 if len(contenders) == 1:
                     winner = contenders[0]
@@ -148,43 +322,113 @@ class Router:
                     winner = policy.va_out_pick(self, p, vc, contenders)
                 self.out_owner[p][vc] = winner
                 winner.grant_vc(p, vc, cycle)
+                wbit = 1 << (winner.port * total + winner.vc)
+                self.va_pending &= ~wbit
+                self.sa_pending |= wbit
+                if tr is not None:
+                    tr.va_grant(cycle, self.node, winner.port, winner.vc, p, vc, winner.pkt.pid)
 
     # -- switch allocation -----------------------------------------------------------
     def do_sa(self, cycle: int) -> None:
         """Run SA_in and SA_out; winners traverse the switch this cycle."""
+        mask = self.sa_pending
+        vcs = self.vcs
+        if not mask:
+            return
+        if not (mask & (mask - 1)):
+            # Lone armed VC (the common case away from saturation): both
+            # SA steps are uncontested, so run the eligibility checks in
+            # walk order and send directly, skipping the grouping
+            # machinery below.
+            invc = vcs[mask.bit_length() - 1]
+            arrivals = invc.arrivals
+            if not arrivals:
+                self.sa_pending = 0  # drained; next body flit re-arms
+                return
+            op = invc.out_port
+            if op != LOCAL and self.out_credits[op][invc.out_vc] <= 0:
+                self.sa_pending = 0  # credit-starved; credit_arrived re-arms
+                return
+            if arrivals[0] >= cycle or cycle < invc.sa_ready:
+                return  # pure pipeline timing; eligible by next cycle
+            network = self.network
+            tr = network.trace
+            if tr is not None:
+                tr.sa_win(cycle, self.node, invc.port, invc.vc, op, invc.pkt.pid)
+            network.send_flit(self, invc, cycle)
+            return
+        out_credits = self.out_credits
         network = self.network
         policy = network.policy
         sa_out: dict[int, list[InputVC]] | None = None
-        for in_port, port_vcs in enumerate(self.in_vcs):
-            cands: list[InputVC] | None = None
-            for invc in port_vcs:
-                if (
-                    invc.state == VC_ACTIVE
-                    and invc.arrivals
-                    and invc.arrivals[0] < cycle
-                    and cycle >= invc.sa_ready
-                ):
+        # Walk port by port on shifted-down submasks (see do_va); a port's
+        # armed VCs come out in ascending vc order and SA_in runs once per
+        # port that fielded any eligible candidate.
+        total = self.total_vcs
+        port_all = (1 << total) - 1
+        base = 0
+        port = 0
+        while mask >> base:
+            pm = (mask >> base) & port_all
+            if pm:
+                cands: list[InputVC] | None = None
+                drops = 0
+                while pm:
+                    low = pm & -pm
+                    pm ^= low
+                    invc = vcs[base + low.bit_length() - 1]
+                    # Pending invariant: state is VC_ACTIVE.
+                    arrivals = invc.arrivals
+                    if not arrivals:
+                        drops |= low  # drained; next body flit re-arms
+                        continue
                     op = invc.out_port
-                    if op == LOCAL or self.out_credits[op][invc.out_vc] > 0:
-                        if cands is None:
-                            cands = [invc]
-                        else:
-                            cands.append(invc)
-            if cands is None:
-                continue
-            winner = cands[0] if len(cands) == 1 else policy.sa_in_pick(self, in_port, cands)
-            if sa_out is None:
-                sa_out = {}
-            sa_out.setdefault(winner.out_port, []).append(winner)
-        if sa_out:
-            for out_port, contenders in sa_out.items():
-                if len(contenders) == 1:
-                    winner = contenders[0]
-                else:
-                    winner = policy.sa_out_pick(self, out_port, contenders)
-                network.send_flit(self, winner, cycle)
+                    if op != LOCAL and out_credits[op][invc.out_vc] <= 0:
+                        drops |= low  # credit-starved; credit_arrived re-arms
+                        continue
+                    if arrivals[0] >= cycle or cycle < invc.sa_ready:
+                        continue  # pure pipeline timing; eligible by next cycle
+                    if cands is None:
+                        cands = [invc]
+                    else:
+                        cands.append(invc)
+                if drops:
+                    self.sa_pending &= ~(drops << base)
+                if cands is not None:
+                    # SA_in: one winner represents the port.
+                    winner = (
+                        cands[0] if len(cands) == 1 else policy.sa_in_pick(self, port, cands)
+                    )
+                    if sa_out is None:
+                        sa_out = {}
+                    sa_out.setdefault(winner.out_port, []).append(winner)
+            base += total
+            port += 1
+        if sa_out is None:
+            return
+        tr = network.trace
+        for out_port, contenders in sa_out.items():
+            if len(contenders) == 1:
+                winner = contenders[0]
+            else:
+                winner = policy.sa_out_pick(self, out_port, contenders)
+            if tr is not None:
+                tr.sa_win(cycle, self.node, winner.port, winner.vc, out_port, winner.pkt.pid)
+            network.send_flit(self, winner, cycle)
 
     # -- introspection --------------------------------------------------------------
+    def pending_va_keys(self) -> list[int]:
+        """Ascending VC keys currently armed for VA (tests/debugging)."""
+        return _mask_keys(self.va_pending)
+
+    def parked_va_keys(self) -> list[int]:
+        """Ascending VC keys parked waiting for a VA resource event."""
+        return _mask_keys(self.va_parked)
+
+    def pending_sa_keys(self) -> list[int]:
+        """Ascending VC keys currently armed for SA (tests/debugging)."""
+        return _mask_keys(self.sa_pending)
+
     def buffered_flits(self) -> int:
         """Total flits currently buffered across all input VCs."""
         return sum(invc.occupancy() for port in self.in_vcs for invc in port)
@@ -200,6 +444,25 @@ class Router:
                     else:
                         f += 1
         return n, f
+
+    def scan_va_state(self) -> set[int]:
+        """Brute-force recount of all VA-state VC keys (for checks)."""
+        return {key for key, invc in enumerate(self.vcs) if invc.state == VC_VA}
+
+    def scan_sa_eligible(self, cycle: int) -> set[int]:
+        """Brute-force recount of SA-schedulable VC keys (for checks).
+
+        Mirrors the old polling kernel's eligibility test exactly: VC-local
+        pipeline conditions (:meth:`InputVC.wants_sa`) plus the router's
+        credit check.
+        """
+        eligible = set()
+        for key, invc in enumerate(self.vcs):
+            if invc.wants_sa(cycle):
+                op = invc.out_port
+                if op == LOCAL or self.out_credits[op][invc.out_vc] > 0:
+                    eligible.add(key)
+        return eligible
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"Router(node={self.node}, app={self.app_id}, busy={self.busy_vcs})"

@@ -6,8 +6,10 @@ reproducible):
 1. deliver scheduled flit arrivals and credit returns,
 2. traffic sources generate packets (into source queues),
 3. queued packets enter idle LOCAL input VCs (injection link),
-4. VC allocation at every busy router,
-5. switch allocation + traversal at every busy router,
+4. VC allocation at every *active* router (one with packets resident —
+   the network's wake lists track exactly those; idle routers cost
+   nothing),
+5. switch allocation + traversal at every active router,
 6. policy end-of-cycle hooks (DPA update per router, STC ranking
    network-wide).
 
@@ -89,18 +91,8 @@ class Simulator:
         for source in self.traffic_sources:
             source.tick(cycle, net)
         net.place_injections(cycle)
-        routers = net.routers
-        policy = net.policy
-        for router in routers:
-            if router.busy_vcs:
-                router.do_va(cycle)
-        for router in routers:
-            if router.busy_vcs:
-                router.do_sa(cycle)
-        for router in routers:
-            if router.busy_vcs:
-                policy.end_router_cycle(router, cycle)
-        policy.end_network_cycle(net, cycle)
+        net.run_router_phases(cycle)
+        net.policy.end_network_cycle(net, cycle)
         self._watchdog(cycle)
         self.cycle = cycle + 1
 
@@ -120,7 +112,7 @@ class Simulator:
     def _watchdog(self, cycle: int) -> None:
         net = self.network
         moved = net.flits_moved
-        if moved != self._last_moved or not net.occupancy.any():
+        if moved != self._last_moved or not any(net.occupancy):
             self._last_moved = moved
             self._last_progress_cycle = cycle
             return
@@ -179,5 +171,8 @@ class Simulator:
             drained=undrained == 0,
             undrained_packets=max(0, undrained),
             abort=abort,
-            metrics=self.metrics,
+            # Snapshot, not alias: successive runs on one simulator keep
+            # accumulating into self.metrics, and an aliased result would
+            # silently mutate with them.
+            metrics=self.metrics.snapshot(),
         )

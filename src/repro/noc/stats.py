@@ -59,6 +59,21 @@ class RunMetrics:
         self.phase_seconds.clear()
         self.cache_hit = False
 
+    def snapshot(self) -> "RunMetrics":
+        """Independent copy of the current counters.
+
+        :meth:`~repro.noc.sim.Simulator.run_measurement` hands each result
+        a snapshot so later runs on the same simulator cannot mutate
+        results already returned.
+        """
+        return RunMetrics(
+            wall_time_s=self.wall_time_s,
+            cycles=self.cycles,
+            phase_cycles=dict(self.phase_cycles),
+            phase_seconds=dict(self.phase_seconds),
+            cache_hit=self.cache_hit,
+        )
+
     # -- serialization (result cache / FigureResult output) ------------------
     def to_dict(self) -> dict:
         return {

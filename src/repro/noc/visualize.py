@@ -52,7 +52,7 @@ def render_occupancy(network) -> str:
     """Per-router buffered-flit heat grid (darker = fuller buffers)."""
     topo = network.topology
     occ = network.occupancy
-    cap = max(1, int(occ.max()))
+    cap = max(1, int(max(occ)))
     lines = [f"buffer occupancy (max {cap} flits/router):"]
     for y in range(topo.height):
         row = []

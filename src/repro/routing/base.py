@@ -26,6 +26,10 @@ class RoutingAlgorithm:
 
     #: short name used in experiment reports
     name = "base"
+    #: set True in algorithms whose selection function reads the network's
+    #: congestion snapshot — the network skips the per-cycle snapshot
+    #: refresh entirely when the installed algorithm leaves this False
+    uses_congestion = False
 
     def __init__(self) -> None:
         self.network = None

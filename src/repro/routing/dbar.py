@@ -26,6 +26,7 @@ class DbarRouting(RoutingAlgorithm):
     """Minimal adaptive routing with DBAR's region-aware selection function."""
 
     name = "dbar"
+    uses_congestion = True
 
     def admissible_ports(self, node: int, pkt) -> tuple[int, ...]:
         return self.network.topology.minimal_ports(node, pkt.dst)

@@ -96,5 +96,5 @@ def test_occupancy_never_negative_during_run(w, scheme, rate, seed):
     sim.add_traffic(src)
     for _ in range(150):
         sim.step()
-        assert (net.occupancy >= 0).all()
-        assert int(net.occupancy.sum()) == sum(r.buffered_flits() for r in net.routers)
+        assert min(net.occupancy) >= 0
+        assert sum(net.occupancy) == sum(r.buffered_flits() for r in net.routers)

@@ -123,7 +123,7 @@ class TestDbarRank:
 
     def test_refresh_respects_period(self):
         net = make_net(width=8, height=8, routing="dbar")
-        net.occupancy[:] = 30
+        net.occupancy[:] = [30] * len(net.occupancy)
         net.refresh_congestion(1)  # off-period: no update
         assert net.congestion.sum() == 0
         net.refresh_congestion(net.congestion_period)

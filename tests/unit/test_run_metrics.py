@@ -33,7 +33,10 @@ class TestRunMetricsCounters:
     def test_populated_after_run_measurement(self):
         sim, res = _small_run()
         m = res.metrics
-        assert m is sim.metrics
+        # The result carries an independent snapshot: later runs on the
+        # same simulator must not retroactively mutate an earlier result.
+        assert m is not sim.metrics
+        assert m == sim.metrics
         assert m.cycles == res.end_cycle
         assert m.wall_time_s > 0.0
         assert m.cycles_per_sec > 0.0
@@ -59,6 +62,15 @@ class TestRunMetricsCounters:
         before = sim.metrics.phase_cycles["warmup"]
         sim.run_measurement(warmup=50, measure=100, drain_limit=20_000)
         assert sim.metrics.phase_cycles["warmup"] == before + 50
+
+    def test_result_snapshot_unaffected_by_later_runs(self):
+        sim, res1 = _small_run(warmup=50, measure=100)
+        frozen_cycles = res1.metrics.cycles
+        frozen_warmup = res1.metrics.phase_cycles["warmup"]
+        res2 = sim.run_measurement(warmup=50, measure=100, drain_limit=20_000)
+        assert res1.metrics.cycles == frozen_cycles
+        assert res1.metrics.phase_cycles["warmup"] == frozen_warmup
+        assert res2.metrics.cycles > res1.metrics.cycles
 
     def test_dict_round_trip(self):
         _, res = _small_run()

@@ -54,6 +54,9 @@ class FakeNet:
     def place_injections(self, cycle):
         pass
 
+    def run_router_phases(self, cycle):
+        pass
+
     def set_measure_window(self, window):
         pass
 
