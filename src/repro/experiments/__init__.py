@@ -23,8 +23,16 @@ E-A2   :mod:`repro.experiments.ablation_vcsplit`     regional:global VC split
 ====== =====================================  ==============================
 """
 
-from repro.experiments.cache import ResultCache, cache_key
-from repro.experiments.parallel import Cell, ExecutionReport, run_cells
+from repro.experiments.cache import ResultCache, SweepJournal, cache_key
+from repro.experiments.parallel import (
+    Cell,
+    CellFailure,
+    CellResult,
+    ExecutionReport,
+    FaultPolicy,
+    run_cells,
+    run_cells_detailed,
+)
 from repro.experiments.runner import (
     Effort,
     FigureResult,
@@ -50,8 +58,13 @@ __all__ = [
     "replicate",
     "compare_schemes",
     "Cell",
+    "CellFailure",
+    "CellResult",
     "ExecutionReport",
+    "FaultPolicy",
     "run_cells",
+    "run_cells_detailed",
     "ResultCache",
+    "SweepJournal",
     "cache_key",
 ]

@@ -10,8 +10,14 @@ show the cost of reacting to every transient VC-occupancy flip.
 from __future__ import annotations
 
 from repro.core.dpa import DpaConfig
-from repro.experiments.parallel import Cell, run_cells
-from repro.experiments.report import effort_argparser, parse_effort
+from repro.experiments.parallel import Cell, FaultPolicy, run_cells_detailed
+from repro.experiments.report import (
+    effort_argparser,
+    failed_label,
+    finish,
+    parse_effort,
+    policy_from_args,
+)
 from repro.experiments.runner import SCHEMES, Effort, FigureResult
 from repro.experiments.scenarios import six_app
 
@@ -26,8 +32,9 @@ def run(
     deltas=DELTAS,
     jobs: int = 1,
     cache=None,
+    policy: FaultPolicy | None = None,
 ) -> FigureResult:
-    """One row per hysteresis delta."""
+    """One row per hysteresis delta (failed cells render as FAILED rows)."""
     scenario = six_app()
     cells = [Cell.for_scenario(SCHEMES["RO_RR"], scenario, effort, seed)] + [
         Cell.for_scenario(
@@ -39,20 +46,28 @@ def run(
         )
         for delta in deltas
     ]
-    runs, report = run_cells(cells, jobs=jobs, cache=cache)
-    base, delta_runs = runs[0], runs[1:]
-    apps = sorted(base.per_app_apl)
+    results, report = run_cells_detailed(cells, jobs=jobs, cache=cache, policy=policy)
+    base_res, delta_results = results[0], results[1:]
     rows = []
-    for delta, res in zip(deltas, delta_runs):
-        reds = [res.reduction_vs(base, app=app) for app in apps]
-        rows.append(
-            {
-                "delta": delta,
-                "red_avg": sum(reds) / len(reds),
-                "apl": res.apl,
-                "drained": res.drained,
-            }
-        )
+    for delta, cell_res in zip(deltas, delta_results):
+        if not cell_res.ok:
+            label = failed_label(cell_res)
+        elif not base_res.ok:
+            label = f"FAILED(baseline {base_res.failure.error_type})"
+        else:
+            base, res = base_res.run, cell_res.run
+            apps = sorted(base.per_app_apl)
+            reds = [res.reduction_vs(base, app=app) for app in apps]
+            rows.append(
+                {
+                    "delta": delta,
+                    "red_avg": sum(reds) / len(reds),
+                    "apl": res.apl,
+                    "drained": res.drained,
+                }
+            )
+            continue
+        rows.append({"delta": delta, "red_avg": label, "apl": label, "drained": ""})
     return FigureResult(
         metrics=report.to_metrics(),
         figure="Ablation A1",
@@ -66,18 +81,18 @@ def run(
     )
 
 
-def main(argv=None) -> None:
+def main(argv=None) -> int:
     """CLI: python -m repro.experiments.ablation_hysteresis [--effort fast]"""
     args = effort_argparser(__doc__).parse_args(argv)
-    print(
-        run(
-            effort=parse_effort(args.effort),
-            seed=args.seed,
-            jobs=args.jobs,
-            cache=args.cache,
-        ).format_table()
+    result = run(
+        effort=parse_effort(args.effort),
+        seed=args.seed,
+        jobs=args.jobs,
+        cache=args.cache,
+        policy=policy_from_args(args),
     )
+    return finish(result)
 
 
 if __name__ == "__main__":
-    main()
+    raise SystemExit(main())

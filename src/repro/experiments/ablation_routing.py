@@ -11,8 +11,14 @@ gain and App1 cost over RO_RR *under the same routing*.
 
 from __future__ import annotations
 
-from repro.experiments.parallel import Cell, run_cells
-from repro.experiments.report import effort_argparser, parse_effort
+from repro.experiments.parallel import Cell, FaultPolicy, run_cells_detailed
+from repro.experiments.report import (
+    effort_argparser,
+    failed_label,
+    finish,
+    parse_effort,
+    policy_from_args,
+)
 from repro.experiments.runner import Effort, FigureResult, Scheme
 from repro.experiments.scenarios import two_app_msp
 
@@ -27,21 +33,35 @@ def run(
     routings=ROUTINGS,
     jobs: int = 1,
     cache=None,
+    policy: FaultPolicy | None = None,
 ) -> FigureResult:
-    """One row per routing algorithm; reductions are RAIR vs RO_RR."""
+    """One row per routing algorithm; reductions are RAIR vs RO_RR.
+
+    Failed cells render as ``FAILED(...)`` rows instead of aborting.
+    """
     scenario = two_app_msp(1.0)
     cells = [
-        Cell.for_scenario(Scheme(f"{prefix}_{routing}", policy, routing),
+        Cell.for_scenario(Scheme(f"{prefix}_{routing}", policy_name, routing),
                           scenario, effort, seed)
         for routing in routings
-        for prefix, policy in (("RO_RR", "rr"), ("RAIR", "rair"))
+        for prefix, policy_name in (("RO_RR", "rr"), ("RAIR", "rair"))
     ]
-    runs, report = run_cells(cells, jobs=jobs, cache=cache)
-    results = iter(runs)
+    results, report = run_cells_detailed(cells, jobs=jobs, cache=cache, policy=policy)
+    it = iter(results)
+    value_cols = ("apl_app0_rr", "apl_app0_rair", "red_app0", "red_app1")
     rows = []
     for routing in routings:
-        base = next(results)
-        rair = next(results)
+        base_res = next(it)
+        rair_res = next(it)
+        failed = next((r for r in (base_res, rair_res) if not r.ok), None)
+        if failed is not None:
+            label = failed_label(failed)
+            rows.append(
+                {"routing": routing, **{c: label for c in value_cols},
+                 "drained": ""}
+            )
+            continue
+        base, rair = base_res.run, rair_res.run
         rows.append(
             {
                 "routing": routing,
@@ -74,18 +94,18 @@ def run(
     )
 
 
-def main(argv=None) -> None:
+def main(argv=None) -> int:
     """CLI: python -m repro.experiments.ablation_routing [--effort fast]"""
     args = effort_argparser(__doc__).parse_args(argv)
-    print(
-        run(
-            effort=parse_effort(args.effort),
-            seed=args.seed,
-            jobs=args.jobs,
-            cache=args.cache,
-        ).format_table()
+    result = run(
+        effort=parse_effort(args.effort),
+        seed=args.seed,
+        jobs=args.jobs,
+        cache=args.cache,
+        policy=policy_from_args(args),
     )
+    return finish(result)
 
 
 if __name__ == "__main__":
-    main()
+    raise SystemExit(main())

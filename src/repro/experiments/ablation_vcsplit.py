@@ -12,8 +12,14 @@ from __future__ import annotations
 
 from dataclasses import replace
 
-from repro.experiments.parallel import Cell, run_cells
-from repro.experiments.report import effort_argparser, parse_effort
+from repro.experiments.parallel import Cell, FaultPolicy, run_cells_detailed
+from repro.experiments.report import (
+    effort_argparser,
+    failed_label,
+    finish,
+    parse_effort,
+    policy_from_args,
+)
 from repro.experiments.runner import SCHEMES, Effort, FigureResult
 from repro.experiments.scenarios import six_app
 from repro.noc.config import NocConfig, VcClass
@@ -37,20 +43,33 @@ def run(
     splits=SPLITS,
     jobs: int = 1,
     cache=None,
+    policy: FaultPolicy | None = None,
 ) -> FigureResult:
-    """One row per VC split; reductions are vs RO_RR on the same config."""
+    """One row per VC split; reductions are vs RO_RR on the same config.
+
+    Failed cells render as ``FAILED(...)`` rows instead of aborting.
+    """
     cells = []
     for label, classes in splits:
         cfg = replace(NocConfig(), vc_classes=classes)
         scenario = six_app(config=cfg)
         cells.append(Cell.for_scenario(SCHEMES["RO_RR"], scenario, effort, seed))
         cells.append(Cell.for_scenario(SCHEMES["RA_RAIR"], scenario, effort, seed))
-    runs, report = run_cells(cells, jobs=jobs, cache=cache)
-    results = iter(runs)
+    results, report = run_cells_detailed(cells, jobs=jobs, cache=cache, policy=policy)
+    it = iter(results)
     rows = []
     for label, classes in splits:
-        base = next(results)
-        res = next(results)
+        base_res = next(it)
+        cell_res = next(it)
+        failed = next((r for r in (base_res, cell_res) if not r.ok), None)
+        if failed is not None:
+            label_text = failed_label(failed)
+            rows.append(
+                {"split": label, "red_avg": label_text, "apl": label_text,
+                 "drained": ""}
+            )
+            continue
+        base, res = base_res.run, cell_res.run
         apps = sorted(base.per_app_apl)
         reds = [res.reduction_vs(base, app=app) for app in apps]
         rows.append(
@@ -74,18 +93,18 @@ def run(
     )
 
 
-def main(argv=None) -> None:
+def main(argv=None) -> int:
     """CLI: python -m repro.experiments.ablation_vcsplit [--effort fast]"""
     args = effort_argparser(__doc__).parse_args(argv)
-    print(
-        run(
-            effort=parse_effort(args.effort),
-            seed=args.seed,
-            jobs=args.jobs,
-            cache=args.cache,
-        ).format_table()
+    result = run(
+        effort=parse_effort(args.effort),
+        seed=args.seed,
+        jobs=args.jobs,
+        cache=args.cache,
+        policy=policy_from_args(args),
     )
+    return finish(result)
 
 
 if __name__ == "__main__":
-    main()
+    raise SystemExit(main())

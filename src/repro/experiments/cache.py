@@ -34,7 +34,13 @@ import tempfile
 from repro.experiments.runner import ScenarioRun
 from repro.noc.stats import RunMetrics
 
-__all__ = ["CACHE_VERSION", "canonicalize", "cache_key", "ResultCache"]
+__all__ = [
+    "CACHE_VERSION",
+    "canonicalize",
+    "cache_key",
+    "ResultCache",
+    "SweepJournal",
+]
 
 #: Bump to invalidate every existing cache entry (key derivation or
 #: payload schema change).
@@ -188,3 +194,167 @@ class ResultCache:
 
     def __len__(self) -> int:
         return sum(1 for _ in self.root.glob("*/*.json"))
+
+
+class SweepJournal:
+    """Append-only completion journal for one cell sweep (checkpoint/resume).
+
+    A *sweep* is one ordered list of cells (one ``run_cells_detailed``
+    call); its identity is a digest over the ordered cell keys
+    (:meth:`key_for`), so re-invoking the same figure with the same
+    arguments maps to the same journal file. As each cell completes, its
+    cache key is appended as one JSON line; an interrupted sweep leaves a
+    valid prefix behind, and the re-invocation restores those cells from
+    the result cache instead of re-simulating them.
+
+    The format is deliberately torn-write tolerant: a half-written final
+    line fails to parse and is skipped, losing at most one cell's
+    checkpoint. Journal files live under ``<cache>/journal/`` with a
+    ``.jsonl`` suffix so they never collide with the ``*/*.json`` result
+    entries.
+    """
+
+    def __init__(self, root: str | os.PathLike, sweep_key: str):
+        self.sweep_key = sweep_key
+        self.path = pathlib.Path(root) / "journal" / f"{sweep_key}.jsonl"
+
+    @staticmethod
+    def key_for(cell_keys) -> str:
+        """Stable identity of an ordered cell-key list."""
+        return _digest(["sweep", CACHE_VERSION, list(cell_keys)])
+
+    def load(self) -> set[str]:
+        """Cell keys recorded as completed (malformed lines are skipped)."""
+        done: set[str] = set()
+        try:
+            text = self.path.read_text()
+        except OSError:
+            return done
+        for line in text.splitlines():
+            try:
+                entry = json.loads(line)
+            except ValueError:
+                continue  # torn tail from an interrupted append
+            if isinstance(entry, dict) and entry.get("status") == "ok":
+                key = entry.get("key")
+                if isinstance(key, str):
+                    done.add(key)
+        return done
+
+    def record(self, key: str, status: str = "ok") -> None:
+        """Append one completion record and flush it to disk.
+
+        The record is *newline-framed* (leading and trailing): if a
+        previous append was torn mid-line, the leading newline terminates
+        the damaged line so this record still lands parseable on its own
+        line. The blank lines this produces parse as malformed and are
+        skipped by :meth:`load`.
+        """
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with open(self.path, "a") as fh:
+            fh.write("\n" + json.dumps({"key": key, "status": status}) + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+
+
+# -- maintenance CLI (python -m repro.experiments.cache) -------------------------
+
+
+def _iter_entries(root: pathlib.Path):
+    """Yield ``(path, version | None)`` for every result entry on disk.
+
+    ``version`` is None for entries too corrupt to parse — those are
+    candidates for pruning too.
+    """
+    for path in sorted(root.glob("*/*.json")):
+        try:
+            version = json.loads(path.read_text()).get("version")
+        except Exception:
+            version = None
+        yield path, version
+
+
+def _cmd_stats(root: pathlib.Path) -> int:
+    entries = 0
+    total_bytes = 0
+    versions: dict[str, int] = {}
+    for path, version in _iter_entries(root):
+        entries += 1
+        total_bytes += path.stat().st_size
+        versions[str(version)] = versions.get(str(version), 0) + 1
+    journals = sorted((root / "journal").glob("*.jsonl"))
+    journal_bytes = sum(p.stat().st_size for p in journals)
+    print(f"cache root: {root}")
+    print(f"entries: {entries}")
+    print(f"bytes: {total_bytes}")
+    for version in sorted(versions):
+        marker = " (current)" if version == str(CACHE_VERSION) else ""
+        print(f"version {version}: {versions[version]}{marker}")
+    print(f"journals: {len(journals)} ({journal_bytes} bytes)")
+    return 0
+
+
+def _cmd_prune(root: pathlib.Path, max_age_days: float | None, dry_run: bool) -> int:
+    import time
+
+    cutoff = None
+    if max_age_days is not None:
+        cutoff = time.time() - max_age_days * 86400.0
+    dropped = 0
+    kept = 0
+    for path, version in _iter_entries(root):
+        stale = version != CACHE_VERSION
+        expired = cutoff is not None and path.stat().st_mtime < cutoff
+        if stale or expired:
+            dropped += 1
+            why = "stale-version" if stale else "expired"
+            if dry_run:
+                print(f"would drop {path.name} ({why})")
+            else:
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+        else:
+            kept += 1
+    verb = "would drop" if dry_run else "dropped"
+    print(f"{verb} {dropped} entries, kept {kept}")
+    return 0
+
+
+def main(argv=None) -> int:
+    """Cache maintenance: ``stats`` and ``prune`` subcommands."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments.cache",
+        description="Inspect and prune the on-disk experiment result cache.",
+    )
+    parser.add_argument("--cache", default=".repro-cache", help="cache directory")
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("stats", help="entry count, bytes, version histogram")
+    prune = sub.add_parser(
+        "prune", help="drop stale-version entries (and optionally old ones)"
+    )
+    prune.add_argument(
+        "--max-age",
+        type=float,
+        default=None,
+        metavar="DAYS",
+        help="also drop current-version entries older than DAYS days",
+    )
+    prune.add_argument(
+        "--dry-run", action="store_true", help="report only, delete nothing"
+    )
+    args = parser.parse_args(argv)
+    root = pathlib.Path(args.cache)
+    if not root.exists():
+        print(f"cache root {root} does not exist")
+        return 1
+    if args.command == "stats":
+        return _cmd_stats(root)
+    return _cmd_prune(root, args.max_age, args.dry_run)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

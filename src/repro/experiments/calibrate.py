@@ -48,7 +48,10 @@ def probe_apl(
     )
     for src in make_sources(rate, seed):
         sim.add_traffic(src)
-    res = sim.run_measurement(warmup=warmup, measure=measure, drain_limit=40_000)
+    # No explicit drain_limit: run_measurement derives it from the probe
+    # window (10x(warmup+measure) + 20000), so enlarging a probe window
+    # can no longer silently outgrow a hardcoded drain budget.
+    res = sim.run_measurement(warmup=warmup, measure=measure)
     return net.stats.apl(window=res.window), res.drained
 
 

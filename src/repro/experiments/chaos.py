@@ -1,0 +1,168 @@
+"""Fault-injection scenario builders for exercising the execution engine.
+
+These builders exist to *test the harness, not the paper*: each one
+returns a tiny uniform-traffic scenario on a 4x4 mesh whose construction
+first performs a configurable act of sabotage. Because they are referred
+to by dotted name (``"repro.experiments.chaos:chaos_scenario"``) through
+:class:`~repro.experiments.scenarios.ScenarioSpec`, the fault fires
+inside whatever process builds the cell — the worker, under
+``jobs>1`` — which is exactly where the fault-tolerant engine of
+:mod:`repro.experiments.parallel` must contain it.
+
+Fault modes:
+
+``ok``
+    no fault; a cheap clean simulation (the control group).
+``raise``
+    raise :class:`~repro.util.errors.SimulationError` — deterministic,
+    classified non-retryable, must fail fast without retries.
+``raise_transient``
+    raise :class:`OSError` every time — retryable, must burn
+    ``max_attempts`` attempts and then fail with ``attempts == 3``.
+``flaky``
+    raise :class:`OSError` only until ``marker`` exists (the first
+    attempt creates it) — a transient failure that retry must heal.
+``hang``
+    sleep far past any reasonable wall timeout — must be killed by the
+    parent's deadline enforcement and recorded as ``CellTimeout``.
+``kill``
+    ``SIGKILL`` the current process — breaks the worker pool every
+    attempt; quarantine must convict it.
+``kill_once``
+    ``SIGKILL`` only if ``marker`` does not exist yet (created first,
+    with ``open(marker, "x")``, so exactly one process dies even when
+    attempts race) — a worker crash that pool rebuild + retry must heal.
+
+``marker`` is a caller-owned path; distinct tests must use distinct
+paths. ``cell_id`` only widens the cell key so one chaos sweep can hold
+many otherwise-identical cells.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+
+from repro.experiments.scenarios import Scenario, ScenarioSpec
+from repro.noc.config import NocConfig
+from repro.noc.topology import MeshTopology
+from repro.traffic.patterns import UniformPattern
+from repro.traffic.synthetic import FixedLength, SyntheticTrafficSource
+from repro.util.errors import ConfigError, SimulationError
+
+__all__ = ["CHAOS_MODES", "chaos_scenario", "chaos_cell"]
+
+CHAOS_MODES = (
+    "ok",
+    "raise",
+    "raise_transient",
+    "flaky",
+    "hang",
+    "kill",
+    "kill_once",
+)
+
+#: long enough that only deadline enforcement ends a "hang" cell
+_HANG_SECONDS = 3600.0
+
+
+def _inject_fault(mode: str, marker: str | None) -> None:
+    if mode == "ok":
+        return
+    if mode == "raise":
+        raise SimulationError("chaos: injected deterministic failure")
+    if mode == "raise_transient":
+        raise OSError("chaos: injected transient failure")
+    if mode == "flaky":
+        if marker is None:
+            raise ConfigError("chaos mode 'flaky' needs a marker path")
+        try:
+            with open(marker, "x"):
+                pass
+        except FileExistsError:
+            return  # already failed once; heal
+        raise OSError("chaos: flaky failure (healed on retry)")
+    if mode == "hang":
+        time.sleep(_HANG_SECONDS)
+        return
+    if mode == "kill":
+        os.kill(os.getpid(), signal.SIGKILL)
+    if mode == "kill_once":
+        if marker is None:
+            raise ConfigError("chaos mode 'kill_once' needs a marker path")
+        try:
+            with open(marker, "x"):
+                pass
+        except FileExistsError:
+            return  # someone already died for this cell; heal
+        os.kill(os.getpid(), signal.SIGKILL)
+
+
+def chaos_scenario(
+    mode: str = "ok",
+    marker: str | None = None,
+    cell_id: int = 0,
+    rate: float = 0.05,
+) -> Scenario:
+    """A tiny uniform-traffic scenario that misbehaves on construction."""
+    if mode not in CHAOS_MODES:
+        raise ConfigError(f"unknown chaos mode {mode!r}; known: {CHAOS_MODES}")
+    _inject_fault(mode, marker)
+    config = NocConfig(width=4, height=4)
+    topo = MeshTopology(config.width, config.height)
+
+    def factory(seed: int) -> list:
+        return [
+            SyntheticTrafficSource(
+                nodes=range(config.num_nodes),
+                rate=rate,
+                pattern=UniformPattern(topo),
+                app_id=0,
+                seed=seed,
+                lengths=FixedLength(1),
+            )
+        ]
+
+    return Scenario(
+        name=f"chaos_{mode}_{cell_id}",
+        config=config,
+        region_map=None,
+        traffic_factory=factory,
+        description=f"fault-injection scenario (mode={mode})",
+        meta={"mode": mode, "cell_id": cell_id},
+        spec=ScenarioSpec(
+            "repro.experiments.chaos:chaos_scenario",
+            {"mode": mode, "marker": marker, "cell_id": cell_id, "rate": rate},
+        ),
+    )
+
+
+def chaos_cell(
+    scheme,
+    effort,
+    seed: int,
+    mode: str = "ok",
+    marker: str | None = None,
+    cell_id: int = 0,
+    rate: float = 0.05,
+):
+    """Build a chaos :class:`~repro.experiments.parallel.Cell` directly.
+
+    ``Cell.for_scenario`` would *build* the scenario in the calling
+    process — detonating the fault there instead of in the worker under
+    test — so chaos cells are assembled from the raw spec.
+    """
+    from repro.experiments.parallel import Cell
+
+    if mode not in CHAOS_MODES:
+        raise ConfigError(f"unknown chaos mode {mode!r}; known: {CHAOS_MODES}")
+    return Cell(
+        scheme=scheme,
+        spec=ScenarioSpec(
+            "repro.experiments.chaos:chaos_scenario",
+            {"mode": mode, "marker": marker, "cell_id": cell_id, "rate": rate},
+        ),
+        effort=effort,
+        seed=seed,
+    )

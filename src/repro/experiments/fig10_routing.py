@@ -15,8 +15,14 @@ gain than DBAR alone (RAIR_DBAR improves App0 by ~12.8% over RO_RR_DBAR).
 
 from __future__ import annotations
 
-from repro.experiments.parallel import Cell, run_cells
-from repro.experiments.report import effort_argparser, parse_effort
+from repro.experiments.parallel import Cell, FaultPolicy, run_cells_detailed
+from repro.experiments.report import (
+    effort_argparser,
+    failed_label,
+    finish,
+    parse_effort,
+    policy_from_args,
+)
 from repro.experiments.runner import SCHEMES, Effort, FigureResult
 from repro.experiments.scenarios import two_app_msp
 
@@ -33,28 +39,45 @@ def run(
     schemes=FIG10_SCHEMES,
     jobs: int = 1,
     cache=None,
+    policy: FaultPolicy | None = None,
 ) -> FigureResult:
-    """Run the Fig. 10 comparison; one row per (p, scheme)."""
+    """Run the Fig. 10 comparison; one row per (p, scheme).
+
+    Failed cells render as ``FAILED(...)`` rows instead of aborting.
+    """
     cells = [
         Cell.for_scenario(SCHEMES[key], two_app_msp(p), effort, seed)
         for p in p_values
         for key in schemes
     ]
-    runs, report = run_cells(cells, jobs=jobs, cache=cache)
-    results = iter(runs)
+    results, report = run_cells_detailed(cells, jobs=jobs, cache=cache, policy=policy)
+    it = iter(results)
     rows = []
     for p in p_values:
         for key in schemes:
-            res = next(results)
-            rows.append(
-                {
-                    "p_inter": f"{p:.0%}",
-                    "scheme": key,
-                    "apl_app0": res.per_app_apl.get(0, float("nan")),
-                    "apl_app1": res.per_app_apl.get(1, float("nan")),
-                    "drained": res.drained,
-                }
-            )
+            cell_res = next(it)
+            if cell_res.ok:
+                res = cell_res.run
+                rows.append(
+                    {
+                        "p_inter": f"{p:.0%}",
+                        "scheme": key,
+                        "apl_app0": res.per_app_apl.get(0, float("nan")),
+                        "apl_app1": res.per_app_apl.get(1, float("nan")),
+                        "drained": res.drained,
+                    }
+                )
+            else:
+                label = failed_label(cell_res)
+                rows.append(
+                    {
+                        "p_inter": f"{p:.0%}",
+                        "scheme": key,
+                        "apl_app0": label,
+                        "apl_app1": label,
+                        "drained": "",
+                    }
+                )
     return FigureResult(
         metrics=report.to_metrics(),
         figure="Figure 10",
@@ -69,18 +92,18 @@ def run(
     )
 
 
-def main(argv=None) -> None:
+def main(argv=None) -> int:
     """CLI: python -m repro.experiments.fig10_routing [--effort fast]"""
     args = effort_argparser(__doc__).parse_args(argv)
-    print(
-        run(
-            effort=parse_effort(args.effort),
-            seed=args.seed,
-            jobs=args.jobs,
-            cache=args.cache,
-        ).format_table()
+    result = run(
+        effort=parse_effort(args.effort),
+        seed=args.seed,
+        jobs=args.jobs,
+        cache=args.cache,
+        policy=policy_from_args(args),
     )
+    return finish(result)
 
 
 if __name__ == "__main__":
-    main()
+    raise SystemExit(main())

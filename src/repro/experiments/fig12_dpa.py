@@ -15,8 +15,14 @@ slightly beat) the better static variant in each scenario (paper:
 
 from __future__ import annotations
 
-from repro.experiments.parallel import Cell, run_cells
-from repro.experiments.report import effort_argparser, parse_effort
+from repro.experiments.parallel import Cell, FaultPolicy, run_cells_detailed
+from repro.experiments.report import (
+    effort_argparser,
+    failed_label,
+    finish,
+    parse_effort,
+    policy_from_args,
+)
 from repro.experiments.runner import SCHEMES, Effort, FigureResult
 from repro.experiments.scenarios import four_app_dpa
 
@@ -32,32 +38,54 @@ def run(
     schemes=FIG12_SCHEMES,
     jobs: int = 1,
     cache=None,
+    policy: FaultPolicy | None = None,
 ) -> FigureResult:
-    """Run both Fig. 12 scenarios; rows carry per-app reduction vs RO_RR."""
+    """Run both Fig. 12 scenarios; rows carry per-app reduction vs RO_RR.
+
+    A failed cell renders as ``FAILED(...)``; a failed *baseline* marks
+    every dependent reduction row ``FAILED(baseline ...)``.
+    """
     cells = [
         Cell.for_scenario(SCHEMES[key], four_app_dpa(variant), effort, seed)
         for variant in variants
         for key in ("RO_RR",) + tuple(schemes)
     ]
-    runs, report = run_cells(cells, jobs=jobs, cache=cache)
-    results = iter(runs)
+    results, report = run_cells_detailed(cells, jobs=jobs, cache=cache, policy=policy)
+    it = iter(results)
     rows = []
+    red_cols = [f"red_app{i}" for i in range(4)]
     for variant in variants:
-        base = next(results)
+        base_res = next(it)
         for key in schemes:
-            res = next(results)
-            apps = sorted(base.per_app_apl)
-            reductions = {
-                f"red_app{app}": res.reduction_vs(base, app=app) for app in apps
-            }
-            avg = sum(reductions.values()) / len(reductions)
+            cell_res = next(it)
+            if not cell_res.ok:
+                label = failed_label(cell_res)
+            elif not base_res.ok:
+                label = f"FAILED(baseline {base_res.failure.error_type})"
+            else:
+                base, res = base_res.run, cell_res.run
+                apps = sorted(base.per_app_apl)
+                reductions = {
+                    f"red_app{app}": res.reduction_vs(base, app=app) for app in apps
+                }
+                avg = sum(reductions.values()) / len(reductions)
+                rows.append(
+                    {
+                        "scenario": variant,
+                        "scheme": key,
+                        **reductions,
+                        "red_avg": avg,
+                        "drained": res.drained,
+                    }
+                )
+                continue
             rows.append(
                 {
                     "scenario": variant,
                     "scheme": key,
-                    **reductions,
-                    "red_avg": avg,
-                    "drained": res.drained,
+                    **{c: label for c in red_cols},
+                    "red_avg": label,
+                    "drained": "",
                 }
             )
     columns = ["scenario", "scheme"] + [f"red_app{i}" for i in range(4)] + [
@@ -78,18 +106,18 @@ def run(
     )
 
 
-def main(argv=None) -> None:
+def main(argv=None) -> int:
     """CLI: python -m repro.experiments.fig12_dpa [--effort fast]"""
     args = effort_argparser(__doc__).parse_args(argv)
-    print(
-        run(
-            effort=parse_effort(args.effort),
-            seed=args.seed,
-            jobs=args.jobs,
-            cache=args.cache,
-        ).format_table()
+    result = run(
+        effort=parse_effort(args.effort),
+        seed=args.seed,
+        jobs=args.jobs,
+        cache=args.cache,
+        policy=policy_from_args(args),
     )
+    return finish(result)
 
 
 if __name__ == "__main__":
-    main()
+    raise SystemExit(main())

@@ -13,8 +13,14 @@ load applications while costing the high-load apps little.
 
 from __future__ import annotations
 
-from repro.experiments.parallel import Cell, run_cells
-from repro.experiments.report import effort_argparser, parse_effort
+from repro.experiments.parallel import Cell, FaultPolicy, run_cells_detailed
+from repro.experiments.report import (
+    effort_argparser,
+    failed_label,
+    finish,
+    parse_effort,
+    policy_from_args,
+)
 from repro.experiments.runner import SCHEMES, Effort, FigureResult
 from repro.experiments.scenarios import six_app
 
@@ -30,24 +36,46 @@ def run(
     global_pattern: str = "ur",
     jobs: int = 1,
     cache=None,
+    policy: FaultPolicy | None = None,
 ) -> FigureResult:
-    """Run the six-app comparison; rows carry per-app APL reduction vs RO_RR."""
+    """Run the six-app comparison; rows carry per-app APL reduction vs RO_RR.
+
+    Failed cells render as ``FAILED(...)`` rows instead of aborting.
+    """
     scenario = six_app(global_pattern=global_pattern)
     cells = [
         Cell.for_scenario(SCHEMES[key], scenario, effort, seed)
         for key in ("RO_RR",) + tuple(schemes)
     ]
-    runs, report = run_cells(cells, jobs=jobs, cache=cache)
-    base, scheme_runs = runs[0], runs[1:]
-    apps = sorted(base.per_app_apl)
+    results, report = run_cells_detailed(cells, jobs=jobs, cache=cache, policy=policy)
+    base_res, scheme_results = results[0], results[1:]
+    apps = sorted(base_res.run.per_app_apl) if base_res.ok else list(range(6))
+    red_cols = [f"red_app{a}" for a in apps]
     rows = []
-    for key, res in zip(schemes, scheme_runs):
-        reductions = {f"red_app{app}": res.reduction_vs(base, app=app) for app in apps}
-        avg = sum(reductions.values()) / len(reductions)
+    for key, cell_res in zip(schemes, scheme_results):
+        if not cell_res.ok:
+            label = failed_label(cell_res)
+        elif not base_res.ok:
+            label = f"FAILED(baseline {base_res.failure.error_type})"
+        else:
+            base, res = base_res.run, cell_res.run
+            reductions = {
+                f"red_app{app}": res.reduction_vs(base, app=app) for app in apps
+            }
+            avg = sum(reductions.values()) / len(reductions)
+            rows.append(
+                {"scheme": key, **reductions, "red_avg": avg, "drained": res.drained}
+            )
+            continue
         rows.append(
-            {"scheme": key, **reductions, "red_avg": avg, "drained": res.drained}
+            {
+                "scheme": key,
+                **{c: label for c in red_cols},
+                "red_avg": label,
+                "drained": "",
+            }
         )
-    columns = ["scheme"] + [f"red_app{a}" for a in apps] + ["red_avg", "drained"]
+    columns = ["scheme"] + red_cols + ["red_avg", "drained"]
     return FigureResult(
         metrics=report.to_metrics(),
         figure="Figure 14",
@@ -64,18 +92,18 @@ def run(
     )
 
 
-def main(argv=None) -> None:
+def main(argv=None) -> int:
     """CLI: python -m repro.experiments.fig14_sixapp [--effort fast]"""
     args = effort_argparser(__doc__).parse_args(argv)
-    print(
-        run(
-            effort=parse_effort(args.effort),
-            seed=args.seed,
-            jobs=args.jobs,
-            cache=args.cache,
-        ).format_table()
+    result = run(
+        effort=parse_effort(args.effort),
+        seed=args.seed,
+        jobs=args.jobs,
+        cache=args.cache,
+        policy=policy_from_args(args),
     )
+    return finish(result)
 
 
 if __name__ == "__main__":
-    main()
+    raise SystemExit(main())

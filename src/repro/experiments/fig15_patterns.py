@@ -12,8 +12,14 @@ traffic pattern; the baseline orderings of Fig. 14 persist per pattern.
 
 from __future__ import annotations
 
-from repro.experiments.parallel import Cell, run_cells
-from repro.experiments.report import effort_argparser, parse_effort
+from repro.experiments.parallel import Cell, FaultPolicy, run_cells_detailed
+from repro.experiments.report import (
+    effort_argparser,
+    failed_label,
+    finish,
+    parse_effort,
+    policy_from_args,
+)
 from repro.experiments.runner import SCHEMES, Effort, FigureResult
 from repro.experiments.scenarios import six_app
 
@@ -30,28 +36,47 @@ def run(
     schemes=FIG15_SCHEMES,
     jobs: int = 1,
     cache=None,
+    policy: FaultPolicy | None = None,
 ) -> FigureResult:
-    """One row per (pattern, scheme) with the average APL reduction vs RO_RR."""
+    """One row per (pattern, scheme) with the average APL reduction vs RO_RR.
+
+    Failed cells render as ``FAILED(...)`` rows instead of aborting.
+    """
     cells = [
         Cell.for_scenario(SCHEMES[key], six_app(global_pattern=pattern), effort, seed)
         for pattern in patterns
         for key in ("RO_RR",) + tuple(schemes)
     ]
-    runs, report = run_cells(cells, jobs=jobs, cache=cache)
-    results = iter(runs)
+    results, report = run_cells_detailed(cells, jobs=jobs, cache=cache, policy=policy)
+    it = iter(results)
     rows = []
     for pattern in patterns:
-        base = next(results)
-        apps = sorted(base.per_app_apl)
+        base_res = next(it)
         for key in schemes:
-            res = next(results)
-            reds = [res.reduction_vs(base, app=app) for app in apps]
+            cell_res = next(it)
+            if not cell_res.ok:
+                label = failed_label(cell_res)
+            elif not base_res.ok:
+                label = f"FAILED(baseline {base_res.failure.error_type})"
+            else:
+                base, res = base_res.run, cell_res.run
+                apps = sorted(base.per_app_apl)
+                reds = [res.reduction_vs(base, app=app) for app in apps]
+                rows.append(
+                    {
+                        "pattern": pattern.upper(),
+                        "scheme": key,
+                        "red_avg": sum(reds) / len(reds),
+                        "drained": res.drained,
+                    }
+                )
+                continue
             rows.append(
                 {
                     "pattern": pattern.upper(),
                     "scheme": key,
-                    "red_avg": sum(reds) / len(reds),
-                    "drained": res.drained,
+                    "red_avg": label,
+                    "drained": "",
                 }
             )
     return FigureResult(
@@ -68,18 +93,18 @@ def run(
     )
 
 
-def main(argv=None) -> None:
+def main(argv=None) -> int:
     """CLI: python -m repro.experiments.fig15_patterns [--effort fast]"""
     args = effort_argparser(__doc__).parse_args(argv)
-    print(
-        run(
-            effort=parse_effort(args.effort),
-            seed=args.seed,
-            jobs=args.jobs,
-            cache=args.cache,
-        ).format_table()
+    result = run(
+        effort=parse_effort(args.effort),
+        seed=args.seed,
+        jobs=args.jobs,
+        cache=args.cache,
+        policy=policy_from_args(args),
     )
+    return finish(result)
 
 
 if __name__ == "__main__":
-    main()
+    raise SystemExit(main())

@@ -13,8 +13,14 @@ lets its older packets through; round-robin treats it as a peer.
 
 from __future__ import annotations
 
-from repro.experiments.parallel import Cell, run_cells
-from repro.experiments.report import effort_argparser, parse_effort
+from repro.experiments.parallel import Cell, FaultPolicy, run_cells_detailed
+from repro.experiments.report import (
+    effort_argparser,
+    failed_label,
+    finish,
+    parse_effort,
+    policy_from_args,
+)
 from repro.experiments.runner import SCHEMES, Effort, FigureResult
 from repro.experiments.scenarios import PARSEC_APP_ORDER, parsec_quadrants
 
@@ -30,12 +36,15 @@ def run(
     adversarial_rate: float | None = None,
     jobs: int = 1,
     cache=None,
+    policy: FaultPolicy | None = None,
 ) -> FigureResult:
     """One row per scheme with per-app and average slowdowns.
 
     ``adversarial_rate=None`` uses the calibrated equivalent of the
     paper's 0.4 flits/cycle/node (same fraction of saturation; see
-    ``scenarios.ADVERSARIAL_PRESSURE``).
+    ``scenarios.ADVERSARIAL_PRESSURE``). A slowdown needs both the clean
+    and the attacked run; if either cell failed, the scheme's row renders
+    as ``FAILED(...)`` and the other rows still print.
     """
     clean = parsec_quadrants(adversarial=False)
     attacked = parsec_quadrants(adversarial=True, adversarial_rate=adversarial_rate)
@@ -45,12 +54,26 @@ def run(
         for key in schemes
         for scenario in (clean, attacked)
     ]
-    runs, report = run_cells(cells, jobs=jobs, cache=cache)
-    results = iter(runs)
+    results, report = run_cells_detailed(cells, jobs=jobs, cache=cache, policy=policy)
+    it = iter(results)
+    slow_cols = [f"slow_{name[:6]}" for name in PARSEC_APP_ORDER]
     rows = []
     for key in schemes:
-        base = next(results)
-        adv = next(results)
+        base_res = next(it)
+        adv_res = next(it)
+        failed = next((r for r in (base_res, adv_res) if not r.ok), None)
+        if failed is not None:
+            label = failed_label(failed)
+            rows.append(
+                {
+                    "scheme": key,
+                    **{c: label for c in slow_cols},
+                    "slow_avg": label,
+                    "drained": "",
+                }
+            )
+            continue
+        base, adv = base_res.run, adv_res.run
         slowdowns = {}
         for app, name in enumerate(PARSEC_APP_ORDER):
             b = base.per_app_apl.get(app)
@@ -67,11 +90,7 @@ def run(
                 "drained": base.drained and adv.drained,
             }
         )
-    columns = (
-        ["scheme"]
-        + [f"slow_{name[:6]}" for name in PARSEC_APP_ORDER]
-        + ["slow_avg", "drained"]
-    )
+    columns = ["scheme"] + slow_cols + ["slow_avg", "drained"]
     return FigureResult(
         metrics=report.to_metrics(),
         figure="Figure 17",
@@ -89,18 +108,18 @@ def run(
     )
 
 
-def main(argv=None) -> None:
+def main(argv=None) -> int:
     """CLI: python -m repro.experiments.fig17_parsec [--effort fast]"""
     args = effort_argparser(__doc__).parse_args(argv)
-    print(
-        run(
-            effort=parse_effort(args.effort),
-            seed=args.seed,
-            jobs=args.jobs,
-            cache=args.cache,
-        ).format_table()
+    result = run(
+        effort=parse_effort(args.effort),
+        seed=args.seed,
+        jobs=args.jobs,
+        cache=args.cache,
+        policy=policy_from_args(args),
     )
+    return finish(result)
 
 
 if __name__ == "__main__":
-    main()
+    raise SystemExit(main())

@@ -1,42 +1,99 @@
-"""Parallel execution of experiment cells with optional result caching.
+"""Fault-tolerant parallel execution of experiment cells.
 
 A **cell** is the unit of experiment work: one ``(scheme, scenario,
 effort, seed)`` simulation, optionally with a config override or policy
 overrides. Cells are mutually independent — every stochastic input is
 derived from the cell's own seed via ``SeedSequence`` spawning — so a
-figure sweep is an embarrassingly parallel map. :func:`run_cells` runs
-that map either serially in-process (``jobs=1``, the default: the exact
-code path of a plain :func:`~repro.experiments.runner.run_scenario` loop)
-or over a :class:`~concurrent.futures.ProcessPoolExecutor`.
+figure sweep is an embarrassingly parallel map.
+
+Each cell is also its own **fault domain**: :func:`run_cells_detailed`
+returns one :class:`CellResult` per cell, holding either the finished
+:class:`~repro.experiments.runner.ScenarioRun` or a structured
+:class:`CellFailure` (exception type, message, traceback, attempt count,
+wall time). One poisoned cell never aborts the sweep; the other cells
+complete and the caller decides how to render the hole.
+
+Resilience mechanisms, all governed by a :class:`FaultPolicy`:
+
+* **Retry with backoff** — transient failures (worker death, broken
+  process pool, cache I/O errors) are retried up to ``max_attempts``
+  times with exponential backoff; the jitter is derived from the cell
+  seed (:func:`backoff_delay`), never from a global RNG, so retry timing
+  is deterministic per cell. Deterministic errors (``ConfigError``,
+  ``SimulationError``, assertion-like bugs) are classified non-retryable
+  and fail immediately (:func:`classify_exception`).
+* **Deadlines** — ``cycle_budget`` threads a cooperative cycle budget
+  into :meth:`~repro.noc.sim.Simulator.run_measurement` (a livelocked
+  simulation aborts with ``abort="deadline"`` or a ``DeadlineError``),
+  and ``wall_timeout_s`` is enforced by the *parent* for wedged workers:
+  in-flight submissions are capped at the worker count so submission
+  time ≈ start time, and an expired cell gets its worker processes
+  killed and is recorded as a ``CellTimeout`` failure.
+* **Broken-pool recovery** — a worker that dies (OOM kill, SIGKILL)
+  breaks the whole ``ProcessPoolExecutor`` and the true victim is
+  indistinguishable from innocent collateral. Every in-flight cell gets
+  a *strike* and is rescheduled on a rebuilt pool; a cell with two
+  strikes is quarantined to run **solo**, so a third strike proves it is
+  the killer and it becomes a recorded failure instead of taking the
+  sweep down with it.
+* **Checkpoint/resume** — with a cache directory, completed cells are
+  journaled (:class:`~repro.experiments.cache.SweepJournal`); a
+  re-invocation of the same sweep restores journaled cells from the
+  result cache instead of re-simulating them (``resumed`` counter).
 
 Determinism guarantee: the per-cell results are a function of the cell
-alone, never of scheduling. Workers rebuild the scenario from its
-:class:`~repro.experiments.scenarios.ScenarioSpec`, seed it identically,
-and results are collected *in submission order* — so ``jobs=N`` is
-bit-identical to ``jobs=1`` for every simulation-determined field
-(asserted by ``tests/integration/test_parallel.py``).
+alone, never of scheduling, retries, or resume. Workers rebuild the
+scenario from its :class:`~repro.experiments.scenarios.ScenarioSpec`,
+seed it identically, and results are collected *in submission order* —
+so ``jobs=N`` is bit-identical to ``jobs=1`` for every
+simulation-determined field, including under injected faults (asserted
+by ``tests/integration/test_parallel.py`` and ``test_chaos.py``).
 
-With ``cache=<dir>`` each cell is first looked up in the content-addressed
-on-disk cache (:mod:`repro.experiments.cache`); hits skip the simulation
-entirely. The returned :class:`ExecutionReport` aggregates wall time,
-hit/miss counts, and the simulator cycles actually executed (0 on a fully
-warm cache).
+:func:`run_cells` keeps the historical strict interface: it raises on
+the first cell failure (the exact exception object on the serial path, a
+:class:`~repro.util.errors.CellExecutionError` carrying the worker's
+traceback otherwise).
 """
 
 from __future__ import annotations
 
-import itertools
+import collections
+import hashlib
 import time
-from concurrent.futures import ProcessPoolExecutor
+import traceback as _tb
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 
-from repro.experiments.cache import ResultCache, cache_key
+from repro.experiments.cache import ResultCache, SweepJournal, cache_key
 from repro.experiments.runner import Effort, ScenarioRun, Scheme, run_scenario
 from repro.experiments.scenarios import ScenarioSpec
 from repro.noc.config import NocConfig
-from repro.util.errors import ConfigError
+from repro.util.errors import (
+    CellExecutionError,
+    ConfigError,
+    DeadlineError,
+    ReproError,
+    SimulationError,
+    TrafficError,
+)
 
-__all__ = ["Cell", "ExecutionReport", "run_cells", "compute_cell"]
+__all__ = [
+    "Cell",
+    "CellFailure",
+    "CellResult",
+    "ExecutionReport",
+    "FaultPolicy",
+    "backoff_delay",
+    "classify_exception",
+    "compute_cell",
+    "run_cells",
+    "run_cells_detailed",
+]
+
+#: strikes (broken-pool / timeout-collateral events) after which a cell is
+#: scheduled alone, so the next pool break unambiguously convicts it
+_QUARANTINE_STRIKES = 2
 
 
 @dataclass(frozen=True)
@@ -75,8 +132,131 @@ class Cell:
             policy_overrides=policy_overrides,
         )
 
+    def describe(self) -> str:
+        """Short human-readable identity for logs and failure rows."""
+        return f"{self.scheme.key}/{self.spec.builder}[seed={self.seed}]"
 
-def compute_cell(cell: Cell) -> ScenarioRun:
+
+@dataclass(frozen=True)
+class FaultPolicy:
+    """Knobs for the fault-tolerant execution engine.
+
+    ``cycle_budget`` and ``wall_timeout_s`` are *execution* policy: they
+    bound how long a cell may run but are not part of its identity, so
+    they never enter cache keys (a deadline-aborted run is likewise never
+    cached — see :func:`_execute`). ``retry_timeouts`` defaults to False
+    because a wall-clock timeout on a deterministic simulation almost
+    always recurs.
+    """
+
+    max_attempts: int = 3
+    backoff_base_s: float = 0.05
+    backoff_max_s: float = 2.0
+    wall_timeout_s: float | None = None
+    cycle_budget: int | None = None
+    retry_timeouts: bool = False
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.wall_timeout_s is not None and self.wall_timeout_s <= 0:
+            raise ConfigError(
+                f"wall_timeout_s must be > 0, got {self.wall_timeout_s}"
+            )
+
+
+@dataclass
+class CellFailure:
+    """Structured record of a cell that exhausted its attempts.
+
+    ``traceback`` is text (the exception was usually raised in another
+    process); ``exception`` carries the original object only when the
+    failure happened in-process (serial path), so :func:`run_cells` can
+    re-raise it exactly.
+    """
+
+    error_type: str
+    message: str
+    traceback: str
+    attempts: int
+    wall_time_s: float
+    retryable: bool
+    exception: BaseException | None = field(default=None, compare=False, repr=False)
+
+    def summary(self) -> str:
+        """One-line ``Type: first line of message`` form for table cells."""
+        first = self.message.splitlines()[0] if self.message else ""
+        return f"{self.error_type}: {first}" if first else self.error_type
+
+
+@dataclass
+class CellResult:
+    """Outcome of one cell: exactly one of ``run`` / ``failure`` is set."""
+
+    cell: Cell
+    index: int
+    run: ScenarioRun | None = None
+    failure: CellFailure | None = None
+    attempts: int = 1
+    cache_hit: bool = False
+    #: restored from a sweep journal written by an earlier invocation
+    resumed: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return self.run is not None
+
+
+#: deterministic outcomes of the cell itself — retrying cannot change them
+_NON_RETRYABLE = (
+    ConfigError,
+    SimulationError,
+    TrafficError,
+    DeadlineError,
+    ReproError,
+    ValueError,
+    TypeError,
+    KeyError,
+    AttributeError,
+    IndexError,
+    ZeroDivisionError,
+    AssertionError,
+)
+
+#: environmental failures worth another attempt
+_RETRYABLE = (OSError, MemoryError, BrokenProcessPool)
+
+
+def classify_exception(exc: BaseException) -> bool:
+    """True if ``exc`` is plausibly transient (worth retrying).
+
+    Deterministic errors — config mistakes, simulator invariants,
+    programming bugs — are checked first: retrying a pure function on the
+    same inputs cannot help. Environmental errors (I/O, memory pressure,
+    a broken worker pool) are retryable. Unknown exception types default
+    to **non-retryable**, so a novel bug surfaces once instead of three
+    times slower.
+    """
+    if isinstance(exc, _NON_RETRYABLE):
+        return False
+    return isinstance(exc, _RETRYABLE)
+
+
+def backoff_delay(policy: FaultPolicy, seed: int, attempt: int) -> float:
+    """Exponential backoff with deterministic, cell-derived jitter.
+
+    ``attempt`` is 1-based (the attempt that just failed). The jitter
+    factor in [0.5, 1.5) comes from a SHA-256 over ``seed:attempt`` — not
+    from a global RNG — so two runs of the same sweep retry on the same
+    schedule and simulation RNG streams are untouched.
+    """
+    base = min(policy.backoff_max_s, policy.backoff_base_s * (2 ** (attempt - 1)))
+    h = hashlib.sha256(f"{seed}:{attempt}".encode("utf-8")).digest()
+    frac = int.from_bytes(h[:8], "big") / 2**64
+    return base * (0.5 + frac)
+
+
+def compute_cell(cell: Cell, cycle_budget: int | None = None) -> ScenarioRun:
     """Simulate one cell from scratch (no cache involvement)."""
     return run_scenario(
         cell.scheme,
@@ -85,37 +265,92 @@ def compute_cell(cell: Cell) -> ScenarioRun:
         seed=cell.seed,
         config=cell.config,
         policy_overrides=cell.policy_overrides,
+        cycle_budget=cycle_budget,
     )
 
 
-def _execute(cell: Cell, cache_dir: str | None) -> tuple[ScenarioRun, bool]:
-    """Cache-aware cell execution; runs in-process or inside a worker."""
+def _execute(
+    cell: Cell, cache_dir: str | None, cycle_budget: int | None = None
+) -> tuple[ScenarioRun, bool, int]:
+    """Cache-aware cell execution; runs in-process or inside a worker.
+
+    Returns ``(run, cache_hit, cache_errors)``. Cache I/O is defensive:
+    a corrupt or unreadable entry is a counted miss and a failed write is
+    a counted error — neither ever aborts the cell, let alone the sweep.
+    A run aborted by the cooperative cycle budget (``abort="deadline"``)
+    is **not** cached: the budget is execution policy, not part of the
+    cell key, and a truncated run must not be served to callers running
+    under a larger (or no) budget.
+    """
     if cache_dir is None:
-        return compute_cell(cell), False
+        return compute_cell(cell, cycle_budget), False, 0
+    cache_errors = 0
     cache = ResultCache(cache_dir)
     key = cache_key(cell)
-    run = cache.get(key)
+    try:
+        run = cache.get(key)
+    except Exception:
+        run = None
+        cache_errors += 1
     if run is not None:
         if run.metrics is not None:
             run.metrics.cache_hit = True
-        return run, True
-    run = compute_cell(cell)
-    cache.put(key, run)
-    return run, False
+        return run, True, cache_errors
+    run = compute_cell(cell, cycle_budget)
+    if run.abort != "deadline":
+        try:
+            cache.put(key, run)
+        except Exception:
+            cache_errors += 1
+    return run, False, cache_errors
+
+
+def _worker(cell: Cell, cache_dir: str | None, cycle_budget: int | None):
+    """Pool entry point: tagged-tuple transport instead of raising.
+
+    Exceptions are flattened to ``("err", type, message, traceback,
+    retryable)`` — exception objects themselves may not pickle, and the
+    parent needs the traceback text for the failure record either way.
+    """
+    try:
+        run, hit, cache_errors = _execute(cell, cache_dir, cycle_budget)
+        return ("ok", run, hit, cache_errors)
+    except Exception as exc:
+        return (
+            "err",
+            type(exc).__name__,
+            str(exc),
+            _tb.format_exc(),
+            classify_exception(exc),
+        )
 
 
 @dataclass
 class ExecutionReport:
-    """What one :func:`run_cells` invocation cost."""
+    """What one :func:`run_cells` / :func:`run_cells_detailed` cost.
+
+    ``cache_hits`` / ``cache_misses`` count *successful* cells only (a
+    failed cell produced no result to hit or miss); ``resumed`` counts
+    the subset of hits restored via the sweep journal of an earlier,
+    interrupted invocation. ``retries`` counts re-executions beyond each
+    cell's first attempt; ``timeouts`` counts wall-clock expiries (also
+    recorded as failures unless ``retry_timeouts`` salvaged them).
+    """
 
     cells: int
     jobs: int
-    cache_hits: int
-    cache_misses: int
-    wall_time_s: float
+    cache_hits: int = 0
+    cache_misses: int = 0
+    wall_time_s: float = 0.0
     #: simulator cycles actually executed (cache hits contribute zero)
-    sim_cycles: int
-    cached: bool = field(default=False)
+    sim_cycles: int = 0
+    cached: bool = False
+    retries: int = 0
+    failures: int = 0
+    timeouts: int = 0
+    resumed: int = 0
+    #: cache read/write errors survived (corrupt entries, failed writes)
+    cache_errors: int = 0
 
     @property
     def cycles_per_sec(self) -> float:
@@ -131,29 +366,336 @@ class ExecutionReport:
             "wall_time_s": round(self.wall_time_s, 3),
             "sim_cycles": self.sim_cycles,
             "cycles_per_sec": round(self.cycles_per_sec, 1),
+            "failures": self.failures,
         }
         if self.cached:
             out["cache_hits"] = self.cache_hits
             out["cache_misses"] = self.cache_misses
+        for key in ("retries", "timeouts", "resumed", "cache_errors"):
+            value = getattr(self, key)
+            if value:
+                out[key] = value
         return out
 
 
-def run_cells(
+@dataclass
+class _Pending:
+    """Scheduler bookkeeping for one not-yet-finished cell."""
+
+    index: int
+    cell: Cell
+    key: str | None
+    #: completed execution attempts that returned an error
+    attempts: int = 0
+    #: broken-pool / timeout-collateral events (cell may be innocent)
+    strikes: int = 0
+    #: monotonic time before which the cell must not be resubmitted
+    ready_at: float = 0.0
+    #: monotonic time of the first submission (for failure wall time)
+    started_at: float = 0.0
+
+    @property
+    def tries(self) -> int:
+        """Total scheduling attempts charged against ``max_attempts``."""
+        return self.attempts + self.strikes
+
+
+class _Sweep:
+    """Shared state + recording helpers for one run_cells_detailed call."""
+
+    def __init__(self, policy: FaultPolicy, report: ExecutionReport, journal):
+        self.policy = policy
+        self.report = report
+        self.journal = journal
+        self.results: dict[int, CellResult] = {}
+
+    def record_ok(self, entry: _Pending, run: ScenarioRun, hit: bool, cerr: int):
+        attempts = entry.tries + 1
+        if run.metrics is not None:
+            run.metrics.attempts = attempts
+        self.results[entry.index] = CellResult(
+            cell=entry.cell,
+            index=entry.index,
+            run=run,
+            attempts=attempts,
+            cache_hit=hit,
+        )
+        self.report.cache_errors += cerr
+        if hit:
+            self.report.cache_hits += 1
+        else:
+            self.report.cache_misses += 1
+            self.report.sim_cycles += run.end_cycle
+        self.journal_record(entry.key)
+
+    def record_failure(
+        self,
+        entry: _Pending,
+        error_type: str,
+        message: str,
+        traceback_text: str,
+        retryable: bool,
+        wall_time_s: float,
+        exception: BaseException | None = None,
+    ):
+        self.results[entry.index] = CellResult(
+            cell=entry.cell,
+            index=entry.index,
+            failure=CellFailure(
+                error_type=error_type,
+                message=message,
+                traceback=traceback_text,
+                attempts=max(1, entry.tries),
+                wall_time_s=wall_time_s,
+                retryable=retryable,
+                exception=exception,
+            ),
+            attempts=max(1, entry.tries),
+        )
+        self.report.failures += 1
+
+    def journal_record(self, key: str | None):
+        if self.journal is None or key is None:
+            return
+        try:
+            self.journal.record(key, "ok")
+        except OSError:
+            self.report.cache_errors += 1
+
+
+def _run_serial(work: list[_Pending], cache_dir, sweep: _Sweep) -> None:
+    policy = sweep.policy
+    for entry in work:
+        entry.started_at = time.monotonic()
+        while True:
+            try:
+                run, hit, cerr = _execute(entry.cell, cache_dir, policy.cycle_budget)
+            except Exception as exc:
+                entry.attempts += 1
+                retryable = classify_exception(exc)
+                if retryable and entry.tries < policy.max_attempts:
+                    sweep.report.retries += 1
+                    time.sleep(backoff_delay(policy, entry.cell.seed, entry.tries))
+                    continue
+                sweep.record_failure(
+                    entry,
+                    type(exc).__name__,
+                    str(exc),
+                    _tb.format_exc(),
+                    retryable,
+                    time.monotonic() - entry.started_at,
+                    exception=exc,
+                )
+                break
+            sweep.record_ok(entry, run, hit, cerr)
+            break
+
+
+def _kill_pool_processes(pool: ProcessPoolExecutor) -> None:
+    """SIGKILL every worker of ``pool`` (wedged workers ignore terminate)."""
+    for proc in list((pool._processes or {}).values()):
+        try:
+            proc.kill()
+        except Exception:
+            pass
+
+
+def _run_parallel(work: list[_Pending], jobs: int, cache_dir, sweep: _Sweep) -> None:
+    """Submit/wait scheduler with timeout kills and broken-pool recovery.
+
+    In-flight submissions are capped at the worker count so a submitted
+    future is (approximately) a *started* future — that is what makes the
+    parent-side wall-clock deadline meaningful. On any pool break the
+    remaining in-flight cells are struck and rescheduled without waiting
+    on their doomed futures, and the pool is rebuilt.
+    """
+    policy = sweep.policy
+    report = sweep.report
+    max_workers = min(jobs, len(work))
+    queue: collections.deque[_Pending] = collections.deque(work)
+    inflight: dict = {}  # future -> (_Pending, deadline | None)
+    pool = ProcessPoolExecutor(max_workers=max_workers)
+
+    def strike(entry: _Pending, now: float) -> None:
+        entry.strikes += 1
+        if entry.tries >= policy.max_attempts:
+            sweep.record_failure(
+                entry,
+                "BrokenProcessPool",
+                f"worker process died {entry.strikes} time(s) while running "
+                f"{entry.cell.describe()}",
+                "",
+                retryable=True,
+                wall_time_s=now - entry.started_at,
+            )
+            return
+        report.retries += 1
+        entry.ready_at = now + backoff_delay(policy, entry.cell.seed, entry.tries)
+        if entry.strikes >= _QUARANTINE_STRIKES:
+            queue.appendleft(entry)  # head position => scheduled solo next
+        else:
+            queue.append(entry)
+
+    def abandon_inflight(now: float) -> None:
+        for entry, _deadline in inflight.values():
+            strike(entry, now)
+        inflight.clear()
+
+    def rebuild_pool() -> ProcessPoolExecutor:
+        pool.shutdown(wait=False, cancel_futures=True)
+        return ProcessPoolExecutor(max_workers=max_workers)
+
+    try:
+        while queue or inflight:
+            now = time.monotonic()
+            # -- fill free slots -------------------------------------------------
+            while queue and len(inflight) < max_workers:
+                head = queue[0]
+                solo = head.strikes >= _QUARANTINE_STRIKES
+                if solo and inflight:
+                    break  # quarantined suspect waits for the pool to drain
+                if head.ready_at > now:
+                    if inflight:
+                        break  # backoff not elapsed; wait on running cells
+                    time.sleep(head.ready_at - now)
+                    now = time.monotonic()
+                entry = queue.popleft()
+                if entry.started_at == 0.0:
+                    entry.started_at = now
+                fut = pool.submit(_worker, entry.cell, cache_dir, policy.cycle_budget)
+                deadline = (
+                    now + policy.wall_timeout_s if policy.wall_timeout_s else None
+                )
+                inflight[fut] = (entry, deadline)
+                if solo:
+                    break  # run the suspect alone
+            if not inflight:
+                continue  # queue head was backoff-delayed; loop sleeps above
+
+            # -- wait for a completion, a deadline, or a backoff expiry ---------
+            timeout = None
+            for _entry, deadline in inflight.values():
+                if deadline is not None:
+                    remaining = deadline - now
+                    timeout = remaining if timeout is None else min(timeout, remaining)
+            if queue and len(inflight) < max_workers and queue[0].ready_at > now:
+                remaining = queue[0].ready_at - now
+                timeout = remaining if timeout is None else min(timeout, remaining)
+            if timeout is not None:
+                timeout = max(timeout, 0.01)
+            done, _ = wait(list(inflight), timeout=timeout, return_when=FIRST_COMPLETED)
+            now = time.monotonic()
+
+            if not done:
+                expired = [
+                    fut
+                    for fut, (_e, deadline) in inflight.items()
+                    if deadline is not None and now >= deadline
+                ]
+                if not expired:
+                    continue  # woke up to submit a backoff-delayed cell
+                for fut in expired:
+                    entry, _deadline = inflight.pop(fut)
+                    entry.attempts += 1
+                    report.timeouts += 1
+                    if policy.retry_timeouts and entry.tries < policy.max_attempts:
+                        report.retries += 1
+                        entry.ready_at = now + backoff_delay(
+                            policy, entry.cell.seed, entry.tries
+                        )
+                        queue.append(entry)
+                    else:
+                        sweep.record_failure(
+                            entry,
+                            "CellTimeout",
+                            f"wall-clock timeout after {policy.wall_timeout_s}s "
+                            f"running {entry.cell.describe()}",
+                            "",
+                            retryable=bool(policy.retry_timeouts),
+                            wall_time_s=now - entry.started_at,
+                        )
+                # The wedged worker cannot be told apart from its siblings
+                # portably, so kill them all; innocent in-flight cells are
+                # struck (bounded) and retried on a fresh pool.
+                _kill_pool_processes(pool)
+                abandon_inflight(now)
+                pool = rebuild_pool()
+                continue
+
+            broken = False
+            for fut in done:
+                entry, _deadline = inflight.pop(fut)
+                try:
+                    tag = fut.result()
+                except BrokenProcessPool:
+                    broken = True
+                    strike(entry, now)
+                    continue
+                except Exception as exc:  # submit-side failure (unpicklable?)
+                    sweep.record_failure(
+                        entry,
+                        type(exc).__name__,
+                        str(exc),
+                        _tb.format_exc(),
+                        retryable=False,
+                        wall_time_s=now - entry.started_at,
+                        exception=exc,
+                    )
+                    continue
+                if tag[0] == "ok":
+                    _, run, hit, cerr = tag
+                    sweep.record_ok(entry, run, hit, cerr)
+                else:
+                    _, etype, msg, tb_text, retryable = tag
+                    entry.attempts += 1
+                    if retryable and entry.tries < policy.max_attempts:
+                        report.retries += 1
+                        entry.ready_at = now + backoff_delay(
+                            policy, entry.cell.seed, entry.tries
+                        )
+                        queue.append(entry)
+                    else:
+                        sweep.record_failure(
+                            entry,
+                            etype,
+                            msg,
+                            tb_text,
+                            retryable,
+                            now - entry.started_at,
+                        )
+            if broken:
+                # Every surviving in-flight future is doomed with the pool;
+                # strike/reschedule them now rather than wait on it.
+                abandon_inflight(now)
+                pool = rebuild_pool()
+    finally:
+        pool.shutdown(wait=False, cancel_futures=True)
+
+
+def run_cells_detailed(
     cells,
     jobs: int = 1,
     cache=None,
-) -> tuple[list[ScenarioRun], ExecutionReport]:
-    """Execute ``cells``, returning results in input order plus a report.
+    policy: FaultPolicy | None = None,
+    use_journal: bool = True,
+) -> tuple[list[CellResult], ExecutionReport]:
+    """Execute ``cells`` fault-tolerantly; one :class:`CellResult` each.
 
-    ``jobs=1`` runs serially in this process; ``jobs>1`` fans out over a
-    process pool (each worker is single-threaded and deterministic).
-    ``cache`` is a directory path or :class:`ResultCache`; when given,
-    cells already present on disk are restored instead of simulated and
-    freshly computed cells are persisted for future runs.
+    Results come back in input order. ``jobs=1`` runs serially in this
+    process (wall-clock timeouts are not enforceable there — use
+    ``policy.cycle_budget`` to bound runaway cells); ``jobs>1`` fans out
+    over a process pool with the full recovery machinery. ``cache`` is a
+    directory path or :class:`ResultCache`; when given, finished cells
+    are persisted, completed cell keys are journaled per sweep, and a
+    repeated invocation resumes: journaled cells are restored from the
+    cache up front (``report.resumed``) instead of re-simulated.
+    ``use_journal=False`` disables the journal (single-cell convenience
+    calls skip it automatically).
     """
     cells = list(cells)
     if jobs < 1:
         raise ConfigError(f"jobs must be >= 1, got {jobs}")
+    policy = policy or FaultPolicy()
     if isinstance(cache, ResultCache):
         cache_dir = str(cache.root)
     elif cache is not None:
@@ -161,23 +703,90 @@ def run_cells(
     else:
         cache_dir = None
 
-    start = time.perf_counter()
-    if jobs == 1 or len(cells) <= 1:
-        pairs = [_execute(cell, cache_dir) for cell in cells]
-    else:
-        with ProcessPoolExecutor(max_workers=min(jobs, len(cells))) as pool:
-            pairs = list(pool.map(_execute, cells, itertools.repeat(cache_dir)))
-    wall = time.perf_counter() - start
-
-    runs = [run for run, _ in pairs]
-    hits = sum(1 for _, hit in pairs if hit)
     report = ExecutionReport(
-        cells=len(cells),
-        jobs=jobs,
-        cache_hits=hits,
-        cache_misses=len(cells) - hits,
-        wall_time_s=wall,
-        sim_cycles=sum(run.end_cycle for run, hit in pairs if not hit),
-        cached=cache_dir is not None,
+        cells=len(cells), jobs=jobs, cached=cache_dir is not None
     )
-    return runs, report
+    journal = None
+    work: list[_Pending] = []
+    resumed: list[CellResult] = []
+    start = time.perf_counter()
+
+    if cache_dir is None:
+        work = [_Pending(index=i, cell=c, key=None) for i, c in enumerate(cells)]
+    else:
+        keys = [cache_key(c) for c in cells]
+        completed: set[str] = set()
+        if use_journal and len(cells) > 1:
+            journal = SweepJournal(cache_dir, SweepJournal.key_for(keys))
+            try:
+                completed = journal.load()
+            except OSError:
+                completed = set()
+        store = ResultCache(cache_dir)
+        for i, (cell, key) in enumerate(zip(cells, keys)):
+            if key in completed:
+                try:
+                    run = store.get(key)
+                except Exception:
+                    run = None
+                    report.cache_errors += 1
+                if run is not None:
+                    if run.metrics is not None:
+                        run.metrics.cache_hit = True
+                    report.cache_hits += 1
+                    report.resumed += 1
+                    resumed.append(
+                        CellResult(
+                            cell=cell, index=i, run=run, cache_hit=True, resumed=True
+                        )
+                    )
+                    continue
+                # journaled but not restorable (evicted / deadline-aborted
+                # runs are never cached) — fall through and re-run
+            work.append(_Pending(index=i, cell=cell, key=key))
+
+    sweep = _Sweep(policy, report, journal)
+    for res in resumed:
+        sweep.results[res.index] = res
+
+    if work:
+        if jobs == 1 or len(work) == 1:
+            _run_serial(work, cache_dir, sweep)
+        else:
+            _run_parallel(work, jobs, cache_dir, sweep)
+
+    report.wall_time_s = time.perf_counter() - start
+    ordered = [sweep.results[i] for i in range(len(cells))]
+    return ordered, report
+
+
+def run_cells(
+    cells,
+    jobs: int = 1,
+    cache=None,
+    policy: FaultPolicy | None = None,
+) -> tuple[list[ScenarioRun], ExecutionReport]:
+    """Strict variant: execute ``cells`` and raise on any cell failure.
+
+    This is the historical interface — callers that cannot render a
+    partial result (unit tests, the single-cell path of
+    :func:`~repro.experiments.runner.run_scenario`) get the original
+    exception back: the exact object when the cell ran in-process, a
+    :class:`~repro.util.errors.CellExecutionError` carrying the worker's
+    traceback text otherwise. Figure CLIs should prefer
+    :func:`run_cells_detailed` and degrade gracefully.
+    """
+    cells = list(cells)
+    results, report = run_cells_detailed(
+        cells, jobs=jobs, cache=cache, policy=policy
+    )
+    for res in results:
+        if res.failure is not None:
+            f = res.failure
+            if f.exception is not None:
+                raise f.exception
+            raise CellExecutionError(
+                f"cell {res.index} ({res.cell.describe()}) failed after "
+                f"{f.attempts} attempt(s): {f.summary()}\n{f.traceback}"
+            )
+    return [res.run for res in results], report

@@ -1,13 +1,34 @@
-"""Report helpers: effort parsing and small formatting utilities shared by
-the figure CLIs."""
+"""Report helpers: effort parsing, fault-policy flags, and the small
+formatting/exit utilities shared by the figure CLIs.
+
+Graceful degradation contract (every figure CLI follows it): a cell that
+fails after retries renders as a ``FAILED(<ErrorType>)`` table entry, the
+partial table still prints, and the process exits with
+:data:`EXIT_CELL_FAILURE` (3) — distinct from argparse's 2 and from a
+crash's traceback — so calling scripts can tell "the figure is partially
+missing" apart from "the tool is broken".
+"""
 
 from __future__ import annotations
 
 import argparse
 
+from repro.experiments.parallel import CellResult, FaultPolicy
 from repro.experiments.runner import Effort
 
-__all__ = ["pct", "effort_argparser", "parse_effort"]
+__all__ = [
+    "EXIT_CELL_FAILURE",
+    "pct",
+    "effort_argparser",
+    "parse_effort",
+    "policy_from_args",
+    "failed_label",
+    "finish",
+]
+
+#: process exit code when one or more cells failed but the (partial)
+#: figure was still rendered
+EXIT_CELL_FAILURE = 3
 
 
 def pct(x: float) -> str:
@@ -46,6 +67,67 @@ def effort_argparser(description: str) -> argparse.ArgumentParser:
         "--cache",
         default=None,
         metavar="DIR",
-        help="result-cache directory; already-computed cells are reused",
+        help="result-cache directory; already-computed cells are reused and "
+        "interrupted sweeps resume from their journal",
+    )
+    parser.add_argument(
+        "--max-attempts",
+        type=int,
+        default=3,
+        help="attempts per cell for transient failures (default 3)",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock budget per cell, enforced by killing wedged "
+        "workers (jobs>1 only)",
+    )
+    parser.add_argument(
+        "--cycle-budget",
+        type=int,
+        default=None,
+        metavar="CYCLES",
+        help="cooperative simulated-cycle budget per cell (works at any "
+        "job count; a budget-hit drain reports abort=deadline)",
     )
     return parser
+
+
+def policy_from_args(args: argparse.Namespace) -> FaultPolicy:
+    """Build the :class:`FaultPolicy` the shared CLI flags describe."""
+    return FaultPolicy(
+        max_attempts=getattr(args, "max_attempts", 3),
+        wall_timeout_s=getattr(args, "timeout", None),
+        cycle_budget=getattr(args, "cycle_budget", None),
+    )
+
+
+def failed_label(result: CellResult) -> str:
+    """Table-cell rendering of a failed cell: ``FAILED(ErrorType)``."""
+    assert result.failure is not None
+    return f"FAILED({result.failure.error_type})"
+
+
+def finish(result, report=None) -> int:
+    """Print a figure result and return the CLI exit code.
+
+    ``result`` is a :class:`~repro.experiments.runner.FigureResult`;
+    ``report`` the :class:`~repro.experiments.parallel.ExecutionReport`
+    that produced it (optional — ``result.metrics['failures']`` is used
+    when absent). Failed cells have already been rendered into the rows
+    by the caller; this decides the exit code and prints the failure
+    summary lines so they cannot be missed below a long table.
+    """
+    print(result.format_table())
+    failures = (
+        report.failures if report is not None else result.metrics.get("failures", 0)
+    )
+    if failures:
+        print(
+            f"WARNING: {failures} cell(s) failed after retries; "
+            "table above is partial (FAILED entries)."
+        )
+        return EXIT_CELL_FAILURE
+    return 0

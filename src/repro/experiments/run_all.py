@@ -36,7 +36,8 @@ from repro.experiments import (
     fig17_parsec,
     table1,
 )
-from repro.experiments.report import parse_effort
+from repro.experiments.parallel import FaultPolicy
+from repro.experiments.report import EXIT_CELL_FAILURE, parse_effort
 
 __all__ = ["main", "EXPERIMENTS"]
 
@@ -55,7 +56,7 @@ EXPERIMENTS = {
 }
 
 
-def main(argv=None) -> None:
+def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--effort", default="medium")
     parser.add_argument("--seed", type=int, default=42)
@@ -70,10 +71,28 @@ def main(argv=None) -> None:
     )
     parser.add_argument(
         "--cache", default=None, metavar="DIR",
-        help="result-cache directory shared across experiments and runs",
+        help="result-cache directory shared across experiments and runs; "
+        "also enables per-sweep journals so an interrupted run resumes",
+    )
+    parser.add_argument(
+        "--max-attempts", type=int, default=3,
+        help="attempts per cell for transient failures (default 3)",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="wall-clock budget per cell (jobs>1 only)",
+    )
+    parser.add_argument(
+        "--cycle-budget", type=int, default=None, metavar="CYCLES",
+        help="cooperative simulated-cycle budget per cell",
     )
     args = parser.parse_args(argv)
     effort = parse_effort(args.effort)
+    policy = FaultPolicy(
+        max_attempts=args.max_attempts,
+        wall_timeout_s=args.timeout,
+        cycle_budget=args.cycle_budget,
+    )
     out = pathlib.Path(args.out)
     out.mkdir(parents=True, exist_ok=True)
 
@@ -83,30 +102,57 @@ def main(argv=None) -> None:
         raise SystemExit(f"unknown experiments: {sorted(unknown)}")
 
     summary = []
-    hits = misses = 0
+    hits = misses = failures = errors = 0
     for name in names:
         module = EXPERIMENTS[name]
         start = time.perf_counter()
-        if name == "table1":
-            result = module.run()
-        else:
-            result = module.run(
-                effort=effort, seed=args.seed, jobs=args.jobs, cache=args.cache
-            )
+        try:
+            if name == "table1":
+                result = module.run()
+            else:
+                result = module.run(
+                    effort=effort, seed=args.seed, jobs=args.jobs,
+                    cache=args.cache, policy=policy,
+                )
+        except Exception as exc:
+            # A cell failure never raises (it renders as a FAILED row);
+            # reaching here means the experiment module itself broke.
+            # Contain it so the remaining experiments still run.
+            elapsed = time.perf_counter() - start
+            errors += 1
+            text = f"{name}: ERROR {type(exc).__name__}: {exc}"
+            print(f"\n{text}\n[{name}: {elapsed:.1f}s]")
+            (out / f"{name}.txt").write_text(text + "\n")
+            summary.append(f"{name}: ERROR {type(exc).__name__}, {elapsed:.1f}s")
+            continue
         elapsed = time.perf_counter() - start
         hits += result.metrics.get("cache_hits", 0)
         misses += result.metrics.get("cache_misses", 0)
+        exp_failures = result.metrics.get("failures", 0)
+        failures += exp_failures
         text = result.format_table()
         print(f"\n{text}\n[{name}: {elapsed:.1f}s]")
         (out / f"{name}.txt").write_text(text + "\n")
-        summary.append(f"{name}: {len(result.rows)} rows, {elapsed:.1f}s")
+        line = f"{name}: {len(result.rows)} rows, {elapsed:.1f}s"
+        if exp_failures:
+            line += f", {exp_failures} FAILED cell(s)"
+        summary.append(line)
 
     header = f"effort={effort.name} seed={args.seed} jobs={args.jobs}"
     if args.cache is not None:
         header += f" cache_hits={hits} cache_misses={misses}"
+    if failures or errors:
+        header += f" failures={failures} errors={errors}"
     (out / "summary.txt").write_text(header + "\n" + "\n".join(summary) + "\n")
     print(f"\nwrote {len(names)} experiment reports to {out}/")
+    if failures or errors:
+        print(
+            f"WARNING: {failures} cell failure(s) and {errors} experiment "
+            "error(s); see the FAILED/ERROR entries above."
+        )
+        return EXIT_CELL_FAILURE
+    return 0
 
 
 if __name__ == "__main__":
-    main()
+    raise SystemExit(main())

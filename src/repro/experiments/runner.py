@@ -154,6 +154,7 @@ def run_scenario(
     config: NocConfig | None = None,
     policy_overrides: dict | None = None,
     cache=None,
+    cycle_budget: int | None = None,
 ) -> ScenarioRun:
     """Simulate ``scenario`` under ``scheme`` and summarize.
 
@@ -164,10 +165,13 @@ def run_scenario(
     directory (or :class:`~repro.experiments.cache.ResultCache`): when
     given and the scenario carries a rebuild spec, an already-computed
     identical cell is restored from disk instead of simulated.
+    ``cycle_budget`` caps the total simulated cycles (see
+    :meth:`~repro.noc.sim.Simulator.run_measurement`); it is an execution
+    policy, not part of the cell identity, so it never enters cache keys.
     """
     if cache is not None and getattr(scenario, "spec", None) is not None:
         # Late import: parallel imports this module.
-        from repro.experiments.parallel import Cell, run_cells
+        from repro.experiments.parallel import Cell, FaultPolicy, run_cells
 
         cell = Cell(
             scheme=scheme,
@@ -177,7 +181,10 @@ def run_scenario(
             config=config,
             policy_overrides=policy_overrides,
         )
-        runs, _ = run_cells([cell], jobs=1, cache=cache)
+        runs, _ = run_cells(
+            [cell], jobs=1, cache=cache,
+            policy=FaultPolicy(cycle_budget=cycle_budget),
+        )
         return runs[0]
     cfg = config or scenario.config
     kwargs = dict(scheme.policy_kwargs)
@@ -192,7 +199,9 @@ def run_scenario(
     )
     for source in scenario.traffic_factory(seed):
         sim.add_traffic(source)
-    res = sim.run_measurement(warmup=effort.warmup, measure=effort.measure)
+    res = sim.run_measurement(
+        warmup=effort.warmup, measure=effort.measure, cycle_budget=cycle_budget
+    )
     stats = net.stats
     return ScenarioRun(
         scheme=scheme.key,

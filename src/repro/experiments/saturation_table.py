@@ -23,7 +23,7 @@ from __future__ import annotations
 
 from repro.util.errors import ConfigError
 
-__all__ = ["SATURATION_TABLE", "saturation_load", "KNEE_FACTOR"]
+__all__ = ["SATURATION_TABLE", "saturation_load", "KNEE_FACTOR", "main"]
 
 #: APL multiplier over zero-load APL that defines the saturation knee.
 KNEE_FACTOR = 3.0
@@ -60,3 +60,23 @@ def saturation_load(key: str) -> float:
             f"no calibrated saturation for {key!r}; known keys: "
             f"{sorted(SATURATION_TABLE)} — run python -m repro.experiments.calibrate"
         ) from None
+
+
+def main(argv=None) -> int:
+    """CLI: python -m repro.experiments.saturation_table
+
+    Render the recorded calibration table (no simulation; see
+    :mod:`repro.experiments.calibrate` to re-measure it).
+    """
+    import argparse
+
+    argparse.ArgumentParser(description=main.__doc__).parse_args(argv)
+    width = max(len(k) for k in SATURATION_TABLE)
+    print(f"calibrated saturation loads (knee factor {KNEE_FACTOR}x zero-load APL)")
+    for key in sorted(SATURATION_TABLE):
+        print(f"{key.ljust(width)}  {SATURATION_TABLE[key]:.3f}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -65,13 +65,27 @@ class ScenarioSpec:
     kwargs: dict = field(default_factory=dict)
 
     def build(self) -> "Scenario":
-        """Reconstruct the scenario via the builder registry."""
+        """Reconstruct the scenario via the builder registry.
+
+        ``builder`` is either a key of :data:`SCENARIO_BUILDERS` or a
+        dotted reference ``"package.module:function"``. Dotted references
+        are imported on demand, so builders living outside this module
+        (e.g. the fault-injection scenarios of
+        :mod:`repro.experiments.chaos`) resolve in worker processes under
+        any multiprocessing start method, without a registration step.
+        """
+        if ":" in self.builder:
+            import importlib
+
+            mod_name, _, fn_name = self.builder.partition(":")
+            fn = getattr(importlib.import_module(mod_name), fn_name)
+            return fn(**self.kwargs)
         try:
             fn = SCENARIO_BUILDERS[self.builder]
         except KeyError:
             raise KeyError(
                 f"unknown scenario builder {self.builder!r}; known: "
-                f"{sorted(SCENARIO_BUILDERS)}"
+                f"{sorted(SCENARIO_BUILDERS)} or a dotted 'module:function'"
             ) from None
         return fn(**self.kwargs)
 

@@ -24,11 +24,11 @@ from dataclasses import dataclass, field
 import numpy as np
 from scipy import stats as sp_stats
 
-from repro.experiments.parallel import Cell, run_cells
+from repro.experiments.parallel import Cell, FaultPolicy, run_cells, run_cells_detailed
 from repro.experiments.runner import Effort, FigureResult, Scheme, run_scenario
 from repro.util.errors import ConfigError
 
-__all__ = ["SweepResult", "replicate", "compare_schemes"]
+__all__ = ["SweepResult", "replicate", "compare_schemes", "main"]
 
 
 @dataclass
@@ -127,28 +127,65 @@ def compare_schemes(
     level: float = 0.95,
     jobs: int = 1,
     cache=None,
+    policy: FaultPolicy | None = None,
 ) -> FigureResult:
     """Mean APL reduction vs ``baseline`` per scheme, with CIs across seeds.
 
     Reductions are paired per seed (same traffic realization for scheme
     and baseline), which removes most workload noise from the comparison.
+
+    All ``(scheme, seed)`` cells run as **one** fault-tolerant sweep, so
+    an interrupted comparison resumes from a single journal and a failed
+    cell degrades gracefully: the affected seed pairs are dropped from
+    that scheme's samples (``n`` shrinks, ``dropped`` counts them) and a
+    scheme left with no surviving pair renders as a ``FAILED(...)`` row.
     """
-    base_runs = dict(
-        zip(seeds, _scenario_runs(baseline, scenario, seeds, effort, jobs, cache))
-    )
+    seeds = list(seeds)
+    all_schemes = [baseline, *schemes]
+    cells = [
+        Cell.for_scenario(scheme, scenario, effort, seed)
+        for scheme in all_schemes
+        for seed in seeds
+    ]
+    results, report = run_cells_detailed(cells, jobs=jobs, cache=cache, policy=policy)
+    by_scheme = {
+        scheme.key: results[i * len(seeds) : (i + 1) * len(seeds)]
+        for i, scheme in enumerate(all_schemes)
+    }
+    base_results = dict(zip(seeds, by_scheme[baseline.key]))
     rows = []
     for scheme in schemes:
-        scheme_runs = dict(
-            zip(seeds, _scenario_runs(scheme, scenario, seeds, effort, jobs, cache))
-        )
         reductions = []
-        for seed in seeds:
-            run = scheme_runs[seed]
-            base = base_runs[seed]
+        dropped = 0
+        first_failure = None
+        for seed, cell_res in zip(seeds, by_scheme[scheme.key]):
+            base_res = base_results[seed]
+            failed = next(
+                (r for r in (cell_res, base_res) if not r.ok), None
+            )
+            if failed is not None:
+                dropped += 1
+                first_failure = first_failure or failed.failure
+                continue
+            run, base = cell_res.run, base_res.run
             apps = sorted(base.per_app_apl)
             reductions.append(
                 sum(run.reduction_vs(base, app=a) for a in apps) / len(apps)
             )
+        if not reductions:
+            label = f"FAILED({first_failure.error_type})"
+            rows.append(
+                {
+                    "scheme": scheme.key,
+                    "red_mean": label,
+                    "ci_lo": label,
+                    "ci_hi": label,
+                    "n": 0,
+                    "dropped": dropped,
+                    "significant": "",
+                }
+            )
+            continue
         sweep = SweepResult(f"{scheme.key}/reduction", reductions)
         lo, hi = sweep.confidence_interval(level)
         rows.append(
@@ -158,15 +195,78 @@ def compare_schemes(
                 "ci_lo": lo,
                 "ci_hi": hi,
                 "n": sweep.n,
+                "dropped": dropped,
                 "significant": sweep.excludes_zero(level),
             }
         )
     return FigureResult(
+        metrics=report.to_metrics(),
         figure="Sweep",
         title=(
             f"APL reduction vs {baseline.key} on {scenario.name} "
             f"({len(seeds)} seeds, {int(level * 100)}% CI)"
         ),
-        columns=["scheme", "red_mean", "ci_lo", "ci_hi", "n", "significant"],
+        columns=[
+            "scheme", "red_mean", "ci_lo", "ci_hi", "n", "dropped", "significant",
+        ],
         rows=rows,
     )
+
+
+def main(argv=None) -> int:
+    """CLI: python -m repro.experiments.sweep [--seeds 5] [--scenario six_app]
+
+    Replicated scheme comparison with CIs on one registry scenario.
+    """
+    from repro.experiments.report import (
+        effort_argparser,
+        finish,
+        parse_effort,
+        policy_from_args,
+    )
+    from repro.experiments.runner import SCHEMES
+    from repro.experiments.scenarios import SCENARIO_BUILDERS
+
+    parser = effort_argparser(main.__doc__)
+    parser.add_argument(
+        "--seeds", type=int, default=5, help="number of replication seeds"
+    )
+    parser.add_argument(
+        "--scenario", default="six_app",
+        help=f"registry scenario builder; known: {sorted(SCENARIO_BUILDERS)}",
+    )
+    parser.add_argument(
+        "--schemes", nargs="*", default=["RO_Rank", "RA_DBAR", "RA_RAIR"],
+        help="schemes to compare against the baseline",
+    )
+    parser.add_argument("--baseline", default="RO_RR")
+    args = parser.parse_args(argv)
+    try:
+        builder = SCENARIO_BUILDERS[args.scenario]
+    except KeyError:
+        raise SystemExit(
+            f"unknown scenario {args.scenario!r}; known: "
+            f"{sorted(SCENARIO_BUILDERS)}"
+        ) from None
+    try:
+        scenario = builder()
+    except TypeError as exc:
+        raise SystemExit(
+            f"scenario {args.scenario!r} needs arguments this CLI does not "
+            f"take ({exc}); use six_app or parsec_quadrants"
+        ) from None
+    result = compare_schemes(
+        scenario,
+        schemes=[SCHEMES[k] for k in args.schemes],
+        baseline=SCHEMES[args.baseline],
+        seeds=[args.seed + i for i in range(args.seeds)],
+        effort=parse_effort(args.effort),
+        jobs=args.jobs,
+        cache=args.cache,
+        policy=policy_from_args(args),
+    )
+    return finish(result)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

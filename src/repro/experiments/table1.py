@@ -66,10 +66,11 @@ def run(config: NocConfig | None = None) -> FigureResult:
     )
 
 
-def main(argv=None) -> None:
+def main(argv=None) -> int:
     """CLI: python -m repro.experiments.table1"""
     print(run().format_table())
+    return 0
 
 
 if __name__ == "__main__":
-    main()
+    raise SystemExit(main())

@@ -28,7 +28,7 @@ from dataclasses import dataclass, field
 
 from repro.noc.network import Network
 from repro.noc.stats import RunMetrics
-from repro.util.errors import SimulationError
+from repro.util.errors import ConfigError, DeadlineError, SimulationError
 
 __all__ = ["Simulator", "MeasurementResult"]
 
@@ -41,8 +41,10 @@ class MeasurementResult:
     means the deadlock/livelock watchdog fired during the drain phase (no
     flit moved for :attr:`Simulator.WATCHDOG_CYCLES` cycles — the leftover
     packets are stuck, not merely slow), ``"drain_limit"`` means the drain
-    budget ran out while flits were still moving, and ``None`` means a
-    clean run. ``undrained_packets`` alone cannot tell these apart.
+    budget ran out while flits were still moving, ``"deadline"`` means the
+    caller's cooperative cycle budget (:attr:`Simulator.deadline_cycle`)
+    expired mid-drain, and ``None`` means a clean run.
+    ``undrained_packets`` alone cannot tell these apart.
     """
 
     warmup: int
@@ -52,7 +54,7 @@ class MeasurementResult:
     drained: bool
     #: packets injected in the window that never ejected before drain_limit
     undrained_packets: int
-    #: None (clean) | "watchdog" | "drain_limit"
+    #: None (clean) | "watchdog" | "drain_limit" | "deadline"
     abort: str | None = None
     #: wall-clock / cycle counters for this run
     metrics: RunMetrics = field(default_factory=RunMetrics)
@@ -72,6 +74,11 @@ class Simulator:
         self._last_moved = 0
         self._last_progress_cycle = 0
         self.metrics = RunMetrics()
+        #: absolute cycle past which :meth:`run` raises
+        #: :class:`~repro.util.errors.DeadlineError` (cooperative cycle
+        #: budget; ``None`` disables the check). Set per-measurement by
+        #: ``run_measurement(cycle_budget=...)``.
+        self.deadline_cycle: int | None = None
 
     def reset_metrics(self) -> None:
         """Zero the run-metrics counters (cycle/wall-time/phase timings)."""
@@ -97,7 +104,21 @@ class Simulator:
         self.cycle = cycle + 1
 
     def run(self, cycles: int) -> None:
-        """Run ``cycles`` additional cycles."""
+        """Run ``cycles`` additional cycles.
+
+        Honours :attr:`deadline_cycle`: if the budget would expire inside
+        this call, the simulator advances exactly to the deadline and then
+        raises :class:`DeadlineError`. The check is a single comparison up
+        front, so the budget-free hot path is unchanged.
+        """
+        deadline = self.deadline_cycle
+        if deadline is not None and self.cycle + cycles > deadline:
+            while self.cycle < deadline:
+                self.step()
+            raise DeadlineError(
+                f"cycle budget exhausted at cycle {self.cycle} "
+                f"(deadline {deadline}, {cycles} more cycles requested)"
+            )
         for _ in range(cycles):
             self.step()
 
@@ -130,6 +151,7 @@ class Simulator:
         warmup: int,
         measure: int,
         drain_limit: int | None = None,
+        cycle_budget: int | None = None,
     ) -> MeasurementResult:
         """Warm up, measure, and drain (paper Section V.A protocol).
 
@@ -137,26 +159,48 @@ class Simulator:
         produced no usable window); one during the *drain* phase is caught
         and reported as ``abort="watchdog"`` — the measured packets that
         did eject remain valid, only the stragglers are stuck.
+
+        ``cycle_budget`` is a cooperative deadline over the *whole*
+        measurement (warmup + measure + drain), set by the fault-tolerant
+        experiment engine so a livelocked cell cannot run unbounded: if it
+        expires during warmup/measure a :class:`DeadlineError` propagates
+        (no usable window), if it expires during the drain the run is
+        returned with ``abort="deadline"``.
         """
         if drain_limit is None:
             drain_limit = 10 * (warmup + measure) + 20_000
+        if cycle_budget is not None:
+            if cycle_budget <= 0:
+                raise ConfigError(f"cycle_budget must be > 0, got {cycle_budget}")
+            self.deadline_cycle = self.cycle + cycle_budget
         net = self.network
         window = (self.cycle + warmup, self.cycle + warmup + measure)
         net.set_measure_window(window)
-        t0 = time.perf_counter()
-        self.run(warmup)
-        t1 = time.perf_counter()
-        self.run(measure)
-        t2 = time.perf_counter()
-        drain_start = self.cycle
-        deadline = self.cycle + drain_limit
         abort = None
         try:
-            while self.cycle < deadline and net.window_ejected < net.window_injected:
-                self.step()
-        except SimulationError:
-            abort = "watchdog"
-        t3 = time.perf_counter()
+            t0 = time.perf_counter()
+            self.run(warmup)
+            t1 = time.perf_counter()
+            self.run(measure)
+            t2 = time.perf_counter()
+            drain_start = self.cycle
+            drain_deadline = self.cycle + drain_limit
+            budget = self.deadline_cycle
+            try:
+                while (
+                    self.cycle < drain_deadline
+                    and net.window_ejected < net.window_injected
+                ):
+                    if budget is not None and self.cycle >= budget:
+                        abort = "deadline"
+                        break
+                    self.step()
+            except SimulationError:
+                abort = "watchdog"
+            t3 = time.perf_counter()
+        finally:
+            if cycle_budget is not None:
+                self.deadline_cycle = None
         undrained = net.window_injected - net.window_ejected
         if abort is None and undrained > 0:
             abort = "drain_limit"

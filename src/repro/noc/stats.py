@@ -36,6 +36,9 @@ class RunMetrics:
     phase_cycles: dict[str, int] = field(default_factory=dict)
     phase_seconds: dict[str, float] = field(default_factory=dict)
     cache_hit: bool = False
+    #: execution attempts the fault-tolerant engine needed for this run
+    #: (1 = first try; set by the parent after retries, never by workers)
+    attempts: int = 1
 
     @property
     def cycles_per_sec(self) -> float:
@@ -58,6 +61,7 @@ class RunMetrics:
         self.phase_cycles.clear()
         self.phase_seconds.clear()
         self.cache_hit = False
+        self.attempts = 1
 
     def snapshot(self) -> "RunMetrics":
         """Independent copy of the current counters.
@@ -72,6 +76,7 @@ class RunMetrics:
             phase_cycles=dict(self.phase_cycles),
             phase_seconds=dict(self.phase_seconds),
             cache_hit=self.cache_hit,
+            attempts=self.attempts,
         )
 
     # -- serialization (result cache / FigureResult output) ------------------
@@ -83,6 +88,7 @@ class RunMetrics:
             "phase_cycles": dict(self.phase_cycles),
             "phase_seconds": dict(self.phase_seconds),
             "cache_hit": self.cache_hit,
+            "attempts": self.attempts,
         }
 
     @classmethod
@@ -93,6 +99,7 @@ class RunMetrics:
             phase_cycles={str(k): int(v) for k, v in d["phase_cycles"].items()},
             phase_seconds={str(k): float(v) for k, v in d["phase_seconds"].items()},
             cache_hit=bool(d.get("cache_hit", False)),
+            attempts=int(d.get("attempts", 1)),
         )
 
 

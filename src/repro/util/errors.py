@@ -23,5 +23,25 @@ class SimulationError(ReproError, RuntimeError):
     """
 
 
+class DeadlineError(ReproError, RuntimeError):
+    """A cooperative cycle budget expired before the run could finish.
+
+    Raised by :meth:`repro.noc.sim.Simulator.run` when
+    ``Simulator.deadline_cycle`` is reached during the warmup or
+    measurement phases (the run then has no usable window). A budget that
+    expires during the *drain* phase is reported as ``abort="deadline"``
+    instead, since the measured packets that ejected remain valid.
+    """
+
+
+class CellExecutionError(ReproError, RuntimeError):
+    """An experiment cell failed in a worker and could not be re-raised.
+
+    Carries the worker-side exception type, message, and traceback as
+    text; the original exception object is unavailable because it was
+    raised in another process (or the process died entirely).
+    """
+
+
 class TrafficError(ReproError, ValueError):
     """A traffic generator was asked for something it cannot produce."""

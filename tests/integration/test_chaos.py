@@ -1,0 +1,127 @@
+"""Chaos acceptance tests: the fault-tolerant engine under injected faults.
+
+The ISSUE acceptance scenario: a 24-cell sweep containing one cell that
+always raises, one that hangs past the wall-clock timeout, and one that
+SIGKILLs its worker must complete with 21 clean runs and 3 structured
+failures, in input order — and a re-invocation against the same cache
+directory must resume without re-simulating a single clean cell.
+
+Everything here is marked ``chaos`` (process-killing, timeout-driven,
+seconds-scale): ``pytest -m chaos`` runs just this lane, ``-m "not
+chaos"`` excludes it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.chaos import chaos_cell
+from repro.experiments.parallel import FaultPolicy, run_cells_detailed
+from repro.experiments.runner import SCHEMES, Effort
+
+pytestmark = pytest.mark.chaos
+
+SCHEME = SCHEMES["RO_RR"]
+
+#: generous attempt budget so innocent cells struck as collateral by the
+#: killer's pool breaks can never exhaust their own attempts
+POLICY = FaultPolicy(max_attempts=4, backoff_base_s=0.01, wall_timeout_s=2.5)
+
+RAISE_AT, HANG_AT, KILL_AT = 3, 11, 17
+FAULTY = {RAISE_AT: "raise", HANG_AT: "hang", KILL_AT: "kill"}
+
+
+def acceptance_cells():
+    return [
+        chaos_cell(SCHEME, Effort.SMOKE, seed=100 + i,
+                   mode=FAULTY.get(i, "ok"), cell_id=i)
+        for i in range(24)
+    ]
+
+
+class TestAcceptanceSweep:
+    def test_one_poisoned_cell_never_aborts_the_sweep(self, tmp_path):
+        cells = acceptance_cells()
+        results, report = run_cells_detailed(
+            cells, jobs=4, cache=tmp_path, policy=POLICY
+        )
+
+        # -- input order, one result per cell --------------------------------
+        assert len(results) == 24
+        assert [r.index for r in results] == list(range(24))
+        assert [r.cell for r in results] == cells
+
+        # -- 21 clean runs, 3 structured failures -----------------------------
+        ok = [r for r in results if r.ok]
+        failed = {r.index: r.failure for r in results if not r.ok}
+        assert len(ok) == 21
+        assert sorted(failed) == sorted(FAULTY)
+        assert report.failures == 3
+
+        # deterministic error fails fast, no retries burned on it
+        assert failed[RAISE_AT].error_type == "SimulationError"
+        assert failed[RAISE_AT].retryable is False
+        assert failed[RAISE_AT].attempts == 1
+        assert "injected deterministic failure" in failed[RAISE_AT].message
+
+        # wedged worker is killed by the parent's wall-clock deadline
+        assert failed[HANG_AT].error_type == "CellTimeout"
+        assert failed[HANG_AT].wall_time_s >= POLICY.wall_timeout_s
+        assert report.timeouts >= 1
+
+        # pool-breaking cell is quarantined and convicted, not retried forever
+        assert failed[KILL_AT].error_type == "BrokenProcessPool"
+        assert failed[KILL_AT].attempts >= POLICY.max_attempts
+
+        # every failure is a complete record
+        for failure in failed.values():
+            assert failure.message
+            assert failure.attempts >= 1
+            assert failure.wall_time_s >= 0.0
+
+        # clean cells were simulated and cached (a retried collateral cell
+        # may legitimately hit the entry its killed predecessor wrote)
+        assert report.cache_hits + report.cache_misses == 21
+        assert report.sim_cycles > 0
+
+        # -- re-invocation resumes the 21 clean cells from the journal --------
+        results2, report2 = run_cells_detailed(
+            acceptance_cells(), jobs=4, cache=tmp_path, policy=POLICY
+        )
+        assert report2.resumed == 21
+        assert report2.cache_hits == 21
+        assert report2.sim_cycles == 0  # zero cycles re-simulated
+        assert report2.failures == 3  # the poisoned cells fail the same way
+        assert {i: f.error_type for i, f in
+                ((r.index, r.failure) for r in results2 if not r.ok)} == {
+            RAISE_AT: "SimulationError",
+            HANG_AT: "CellTimeout",
+            KILL_AT: "BrokenProcessPool",
+        }
+        for before, after in zip(results, results2):
+            if before.ok:
+                assert after.resumed
+                assert (after.run.determinism_signature()
+                        == before.run.determinism_signature())
+
+
+class TestWorkerCrashRecovery:
+    def test_sigkill_mid_sweep_rebuilds_pool_and_retries_victim(self, tmp_path):
+        """A worker SIGKILLed once: pool rebuilt, victim retried, sweep clean."""
+        marker = tmp_path / "kill_once.marker"
+        cells = [
+            chaos_cell(SCHEME, Effort.SMOKE, seed=200 + i, mode="ok", cell_id=i)
+            for i in range(5)
+        ]
+        cells.insert(2, chaos_cell(
+            SCHEME, Effort.SMOKE, seed=199, mode="kill_once", marker=str(marker)
+        ))
+        results, report = run_cells_detailed(
+            cells, jobs=3,
+            policy=FaultPolicy(max_attempts=4, backoff_base_s=0.01),
+        )
+        assert marker.exists()  # the fault actually fired
+        assert all(r.ok for r in results)
+        assert report.failures == 0
+        assert report.retries >= 1  # at least the victim was re-run
+        assert results[2].attempts >= 2  # the victim, specifically

@@ -3,6 +3,8 @@ not silently produce wrong results."""
 
 import pytest
 
+pytestmark = pytest.mark.chaos
+
 from repro import build_simulation
 from repro.noc.config import NocConfig
 from repro.noc.flit import Packet

@@ -13,8 +13,14 @@ from __future__ import annotations
 
 import pytest
 
+from repro.experiments.chaos import chaos_cell
 from repro.experiments.fig09_msp import run as fig09_run
-from repro.experiments.parallel import Cell, run_cells
+from repro.experiments.parallel import (
+    Cell,
+    FaultPolicy,
+    run_cells,
+    run_cells_detailed,
+)
 from repro.experiments.runner import SCHEMES, Effort, run_scenario
 from repro.experiments.scenarios import two_app_msp
 from repro.experiments.sweep import replicate
@@ -63,6 +69,51 @@ class TestCellEngine:
         assert not cold.metrics.cache_hit
         assert warm.metrics.cache_hit
         assert warm.determinism_signature() == cold.determinism_signature()
+
+
+@pytest.mark.chaos
+class TestBitIdentityUnderRetries:
+    """Retries, backoff, and pool rebuilds must not perturb a single sample.
+
+    Strategy: run with jobs=3 *first*, while the faults are armed — the
+    kill_once cell SIGKILLs one worker (pool rebuild + victim retry) and
+    the flaky cell raises a transient OSError once (backoff + retry).
+    Both faults disarm themselves through their marker files, so the
+    jobs=1 rerun sees no fault at all; the parallel-with-retries samples
+    must still be bit-identical to that clean serial baseline.
+    """
+
+    def build_cells(self, tmp_path):
+        scheme = SCHEMES["RA_RAIR"]
+        cells = [
+            chaos_cell(scheme, Effort.SMOKE, seed=300 + i, mode="ok", cell_id=i)
+            for i in range(4)
+        ]
+        cells.insert(1, chaos_cell(
+            scheme, Effort.SMOKE, seed=298, mode="kill_once",
+            marker=str(tmp_path / "kill_once.marker"),
+        ))
+        cells.insert(3, chaos_cell(
+            scheme, Effort.SMOKE, seed=299, mode="flaky",
+            marker=str(tmp_path / "flaky.marker"),
+        ))
+        return cells
+
+    def test_jobs_n_with_retries_matches_clean_jobs_1(self, tmp_path):
+        policy = FaultPolicy(max_attempts=4, backoff_base_s=0.01)
+        cells = self.build_cells(tmp_path)
+        para, report = run_cells_detailed(cells, jobs=3, policy=policy)
+        assert (tmp_path / "kill_once.marker").exists()
+        assert (tmp_path / "flaky.marker").exists()
+        assert all(r.ok for r in para)
+        assert report.retries >= 2  # the crash victim and the flaky cell
+        assert para[1].attempts >= 2 and para[3].attempts >= 2
+
+        serial, serial_report = run_cells_detailed(cells, jobs=1, policy=policy)
+        assert all(r.ok for r in serial)
+        assert serial_report.retries == 0  # faults disarmed: clean baseline
+        for p, s in zip(para, serial):
+            assert p.run.determinism_signature() == s.run.determinism_signature()
 
 
 class TestMediumAcceptance:

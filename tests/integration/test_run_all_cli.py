@@ -1,8 +1,10 @@
-"""CLI tests: run_all with a cheap subset, figure CLIs' argument handling."""
+"""CLI tests: run_all with a cheap subset, figure CLIs' argument handling,
+and the graceful-degradation contract (partial table + exit code 3)."""
 
 import pytest
 
 from repro.experiments import run_all, table1
+from repro.experiments.report import EXIT_CELL_FAILURE
 
 
 class TestRunAllCli:
@@ -30,3 +32,66 @@ class TestFigureCli:
         out = capsys.readouterr().out
         assert "Virtual channels" in out
         assert "128 bits/cycle" in out
+
+
+class TestGracefulDegradation:
+    """Every figure CLI must render the partial table and exit with 3 when
+    cells fail. ``--cycle-budget 1`` makes *every* cell fail immediately
+    (the budget expires on the first warmup cycle), which exercises the
+    full failure-rendering path of each CLI in milliseconds per cell.
+    """
+
+    FIGURES = sorted(set(run_all.EXPERIMENTS) - {"table1"})
+
+    @pytest.mark.parametrize("name", FIGURES)
+    def test_figure_cli_renders_failures_and_exits_3(self, name, capsys):
+        module = run_all.EXPERIMENTS[name]
+        code = module.main(["--effort", "smoke", "--cycle-budget", "1"])
+        out = capsys.readouterr().out
+        assert code == EXIT_CELL_FAILURE
+        assert "FAILED(DeadlineError)" in out  # hole rendered, not hidden
+        assert "WARNING" in out
+        assert "cell(s) failed" in out
+
+    def test_sweep_cli_renders_failures_and_exits_3(self, capsys):
+        from repro.experiments import sweep
+
+        code = sweep.main([
+            "--effort", "smoke", "--seeds", "2", "--cycle-budget", "1",
+            "--schemes", "RA_RAIR",
+        ])
+        out = capsys.readouterr().out
+        assert code == EXIT_CELL_FAILURE
+        assert "FAILED(DeadlineError)" in out
+        assert "WARNING" in out
+
+    def test_run_all_aggregates_cell_failures(self, tmp_path, capsys):
+        code = run_all.main([
+            "--only", "fig09_msp", "--effort", "smoke",
+            "--cycle-budget", "1", "--out", str(tmp_path),
+        ])
+        out = capsys.readouterr().out
+        assert code == EXIT_CELL_FAILURE
+        assert "FAILED(DeadlineError)" in out
+        summary = (tmp_path / "summary.txt").read_text()
+        assert "FAILED cell(s)" in summary
+        assert "failures=" in summary
+
+    def test_run_all_contains_experiment_level_errors(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        def boom(**kwargs):
+            raise RuntimeError("experiment module is broken")
+
+        monkeypatch.setattr(run_all.EXPERIMENTS["fig09_msp"], "run", boom)
+        code = run_all.main([
+            "--only", "fig09_msp", "table1", "--effort", "smoke",
+            "--out", str(tmp_path),
+        ])
+        out = capsys.readouterr().out
+        assert code == EXIT_CELL_FAILURE
+        assert "ERROR RuntimeError" in out
+        assert "Table 1" in out  # the broken experiment did not stop table1
+        summary = (tmp_path / "summary.txt").read_text()
+        assert "ERROR RuntimeError" in summary
+        assert "errors=1" in summary

@@ -13,7 +13,7 @@ import numpy as np
 import pytest
 
 from repro.noc.sim import Simulator
-from repro.util.errors import SimulationError
+from repro.util.errors import ConfigError, DeadlineError, SimulationError
 
 
 class _FakePolicy:
@@ -103,3 +103,50 @@ class TestAbortReporting:
         sim.WATCHDOG_CYCLES = 10
         with pytest.raises(SimulationError):
             sim.run_measurement(warmup=50, measure=50, drain_limit=100)
+
+
+class TestCycleDeadline:
+    """Cooperative cycle budget (FaultPolicy.cycle_budget plumbing)."""
+
+    def test_run_stops_exactly_at_the_deadline(self):
+        sim = Simulator(FakeNet())
+        sim.deadline_cycle = 3
+        with pytest.raises(DeadlineError, match="cycle budget"):
+            sim.run(10)
+        assert sim.cycle == 3  # advanced to the deadline, not past it
+
+    def test_run_without_deadline_is_unbounded(self):
+        sim = Simulator(FakeNet())
+        sim.run(10)
+        assert sim.cycle == 10
+
+    def test_budget_expiry_during_measurement_raises(self):
+        # warmup+measure = 10 > budget 6: no usable window, must raise.
+        sim = Simulator(FakeNet(injected=8, ejected=3, eject_at=15))
+        with pytest.raises(DeadlineError):
+            sim.run_measurement(warmup=5, measure=5, cycle_budget=6)
+        assert sim.deadline_cycle is None  # cleared even on the raise path
+
+    def test_budget_expiry_during_drain_is_reported(self):
+        # The window completed; only the drain is cut short — report it.
+        sim = Simulator(FakeNet(injected=8, ejected=3))
+        res = sim.run_measurement(
+            warmup=5, measure=5, drain_limit=1000, cycle_budget=50
+        )
+        assert res.abort == "deadline"
+        assert not res.drained
+        assert res.undrained_packets == 5
+        assert res.end_cycle == 50  # stopped at the budget, not drain_limit
+        assert sim.deadline_cycle is None
+
+    def test_clean_run_within_budget_has_no_abort(self):
+        sim = Simulator(FakeNet(injected=8, ejected=3, eject_at=15))
+        res = sim.run_measurement(warmup=5, measure=5, cycle_budget=10_000)
+        assert res.drained
+        assert res.abort is None
+        assert sim.deadline_cycle is None
+
+    def test_nonpositive_budget_rejected(self):
+        sim = Simulator(FakeNet())
+        with pytest.raises(ConfigError, match="cycle_budget"):
+            sim.run_measurement(warmup=5, measure=5, cycle_budget=0)
