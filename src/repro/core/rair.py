@@ -121,9 +121,17 @@ class RairPolicy(ArbitrationPolicy):
     # -- DPA update -----------------------------------------------------------------
     def end_router_cycle(self, router, cycle: int) -> None:
         if self._dpa_dynamic:
-            router.native_high = hysteresis_update(
-                router.native_high, router.ovc_n, router.ovc_f, self.dpa.delta
-            )
+            old = router.native_high
+            new = hysteresis_update(old, router.ovc_n, router.ovc_f, self.dpa.delta)
+            if new != old:
+                router.native_high = new
+                # Same hot-path guard as every kernel event: one pointer
+                # comparison when untraced, and only on actual transitions
+                # (network is None only when the policy is driven bare,
+                # outside a Network — unit tests do that).
+                tr = self.network.trace if self.network is not None else None
+                if tr is not None:
+                    tr.dpa_flip(cycle, router.node, new, router.ovc_n, router.ovc_f)
 
     # -- convenience constructors ------------------------------------------------
     @classmethod

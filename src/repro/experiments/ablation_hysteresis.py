@@ -15,6 +15,7 @@ from repro.experiments.report import (
     effort_argparser,
     failed_label,
     finish,
+    obs_from_args,
     parse_effort,
     policy_from_args,
 )
@@ -33,6 +34,7 @@ def run(
     jobs: int = 1,
     cache=None,
     policy: FaultPolicy | None = None,
+    obs=None,
 ) -> FigureResult:
     """One row per hysteresis delta (failed cells render as FAILED rows)."""
     scenario = six_app()
@@ -46,7 +48,9 @@ def run(
         )
         for delta in deltas
     ]
-    results, report = run_cells_detailed(cells, jobs=jobs, cache=cache, policy=policy)
+    results, report = run_cells_detailed(
+        cells, jobs=jobs, cache=cache, policy=policy, obs=obs
+    )
     base_res, delta_results = results[0], results[1:]
     rows = []
     for delta, cell_res in zip(deltas, delta_results):
@@ -90,6 +94,7 @@ def main(argv=None) -> int:
         jobs=args.jobs,
         cache=args.cache,
         policy=policy_from_args(args),
+        obs=obs_from_args(args),
     )
     return finish(result)
 

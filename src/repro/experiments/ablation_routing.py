@@ -16,6 +16,7 @@ from repro.experiments.report import (
     effort_argparser,
     failed_label,
     finish,
+    obs_from_args,
     parse_effort,
     policy_from_args,
 )
@@ -34,6 +35,7 @@ def run(
     jobs: int = 1,
     cache=None,
     policy: FaultPolicy | None = None,
+    obs=None,
 ) -> FigureResult:
     """One row per routing algorithm; reductions are RAIR vs RO_RR.
 
@@ -46,7 +48,9 @@ def run(
         for routing in routings
         for prefix, policy_name in (("RO_RR", "rr"), ("RAIR", "rair"))
     ]
-    results, report = run_cells_detailed(cells, jobs=jobs, cache=cache, policy=policy)
+    results, report = run_cells_detailed(
+        cells, jobs=jobs, cache=cache, policy=policy, obs=obs
+    )
     it = iter(results)
     value_cols = ("apl_app0_rr", "apl_app0_rair", "red_app0", "red_app1")
     rows = []
@@ -103,6 +107,7 @@ def main(argv=None) -> int:
         jobs=args.jobs,
         cache=args.cache,
         policy=policy_from_args(args),
+        obs=obs_from_args(args),
     )
     return finish(result)
 

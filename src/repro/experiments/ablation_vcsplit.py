@@ -17,6 +17,7 @@ from repro.experiments.report import (
     effort_argparser,
     failed_label,
     finish,
+    obs_from_args,
     parse_effort,
     policy_from_args,
 )
@@ -44,6 +45,7 @@ def run(
     jobs: int = 1,
     cache=None,
     policy: FaultPolicy | None = None,
+    obs=None,
 ) -> FigureResult:
     """One row per VC split; reductions are vs RO_RR on the same config.
 
@@ -55,7 +57,9 @@ def run(
         scenario = six_app(config=cfg)
         cells.append(Cell.for_scenario(SCHEMES["RO_RR"], scenario, effort, seed))
         cells.append(Cell.for_scenario(SCHEMES["RA_RAIR"], scenario, effort, seed))
-    results, report = run_cells_detailed(cells, jobs=jobs, cache=cache, policy=policy)
+    results, report = run_cells_detailed(
+        cells, jobs=jobs, cache=cache, policy=policy, obs=obs
+    )
     it = iter(results)
     rows = []
     for label, classes in splits:
@@ -102,6 +106,7 @@ def main(argv=None) -> int:
         jobs=args.jobs,
         cache=args.cache,
         policy=policy_from_args(args),
+        obs=obs_from_args(args),
     )
     return finish(result)
 

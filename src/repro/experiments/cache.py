@@ -104,11 +104,20 @@ def _run_to_payload(run: ScenarioRun) -> dict:
         "packets_measured": run.packets_measured,
         "abort": run.abort,
         "metrics": run.metrics.to_dict() if run.metrics is not None else None,
+        # Optional key (absent when the run had no collector); read back
+        # with .get so payloads written before the obs subsystem — and
+        # obs-free payloads — restore unchanged without a version bump.
+        "obs": run.obs.to_dict() if run.obs is not None else None,
     }
 
 
 def _run_from_payload(payload: dict) -> ScenarioRun:
     metrics = payload["metrics"]
+    obs = payload.get("obs")
+    if obs is not None:
+        from repro.obs.collector import ObsSummary
+
+        obs = ObsSummary.from_dict(obs)
     return ScenarioRun(
         scheme=payload["scheme"],
         scenario=payload["scenario"],
@@ -121,6 +130,7 @@ def _run_from_payload(payload: dict) -> ScenarioRun:
         packets_measured=payload["packets_measured"],
         abort=payload["abort"],
         metrics=RunMetrics.from_dict(metrics) if metrics is not None else None,
+        obs=obs,
     )
 
 

@@ -20,6 +20,7 @@ from repro.experiments.report import (
     effort_argparser,
     failed_label,
     finish,
+    obs_from_args,
     parse_effort,
     policy_from_args,
 )
@@ -40,6 +41,7 @@ def run(
     jobs: int = 1,
     cache=None,
     policy: FaultPolicy | None = None,
+    obs=None,
 ) -> FigureResult:
     """Run the Fig. 10 comparison; one row per (p, scheme).
 
@@ -50,7 +52,9 @@ def run(
         for p in p_values
         for key in schemes
     ]
-    results, report = run_cells_detailed(cells, jobs=jobs, cache=cache, policy=policy)
+    results, report = run_cells_detailed(
+        cells, jobs=jobs, cache=cache, policy=policy, obs=obs
+    )
     it = iter(results)
     rows = []
     for p in p_values:
@@ -101,6 +105,7 @@ def main(argv=None) -> int:
         jobs=args.jobs,
         cache=args.cache,
         policy=policy_from_args(args),
+        obs=obs_from_args(args),
     )
     return finish(result)
 

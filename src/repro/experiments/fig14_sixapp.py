@@ -18,6 +18,7 @@ from repro.experiments.report import (
     effort_argparser,
     failed_label,
     finish,
+    obs_from_args,
     parse_effort,
     policy_from_args,
 )
@@ -37,6 +38,7 @@ def run(
     jobs: int = 1,
     cache=None,
     policy: FaultPolicy | None = None,
+    obs=None,
 ) -> FigureResult:
     """Run the six-app comparison; rows carry per-app APL reduction vs RO_RR.
 
@@ -47,7 +49,9 @@ def run(
         Cell.for_scenario(SCHEMES[key], scenario, effort, seed)
         for key in ("RO_RR",) + tuple(schemes)
     ]
-    results, report = run_cells_detailed(cells, jobs=jobs, cache=cache, policy=policy)
+    results, report = run_cells_detailed(
+        cells, jobs=jobs, cache=cache, policy=policy, obs=obs
+    )
     base_res, scheme_results = results[0], results[1:]
     apps = sorted(base_res.run.per_app_apl) if base_res.ok else list(range(6))
     red_cols = [f"red_app{a}" for a in apps]
@@ -101,6 +105,7 @@ def main(argv=None) -> int:
         jobs=args.jobs,
         cache=args.cache,
         policy=policy_from_args(args),
+        obs=obs_from_args(args),
     )
     return finish(result)
 

@@ -17,6 +17,7 @@ from repro.experiments.report import (
     effort_argparser,
     failed_label,
     finish,
+    obs_from_args,
     parse_effort,
     policy_from_args,
 )
@@ -37,6 +38,7 @@ def run(
     jobs: int = 1,
     cache=None,
     policy: FaultPolicy | None = None,
+    obs=None,
 ) -> FigureResult:
     """One row per (pattern, scheme) with the average APL reduction vs RO_RR.
 
@@ -47,7 +49,9 @@ def run(
         for pattern in patterns
         for key in ("RO_RR",) + tuple(schemes)
     ]
-    results, report = run_cells_detailed(cells, jobs=jobs, cache=cache, policy=policy)
+    results, report = run_cells_detailed(
+        cells, jobs=jobs, cache=cache, policy=policy, obs=obs
+    )
     it = iter(results)
     rows = []
     for pattern in patterns:
@@ -102,6 +106,7 @@ def main(argv=None) -> int:
         jobs=args.jobs,
         cache=args.cache,
         policy=policy_from_args(args),
+        obs=obs_from_args(args),
     )
     return finish(result)
 

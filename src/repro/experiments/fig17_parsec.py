@@ -18,6 +18,7 @@ from repro.experiments.report import (
     effort_argparser,
     failed_label,
     finish,
+    obs_from_args,
     parse_effort,
     policy_from_args,
 )
@@ -37,6 +38,7 @@ def run(
     jobs: int = 1,
     cache=None,
     policy: FaultPolicy | None = None,
+    obs=None,
 ) -> FigureResult:
     """One row per scheme with per-app and average slowdowns.
 
@@ -54,7 +56,9 @@ def run(
         for key in schemes
         for scenario in (clean, attacked)
     ]
-    results, report = run_cells_detailed(cells, jobs=jobs, cache=cache, policy=policy)
+    results, report = run_cells_detailed(
+        cells, jobs=jobs, cache=cache, policy=policy, obs=obs
+    )
     it = iter(results)
     slow_cols = [f"slow_{name[:6]}" for name in PARSEC_APP_ORDER]
     rows = []
@@ -117,6 +121,7 @@ def main(argv=None) -> int:
         jobs=args.jobs,
         cache=args.cache,
         policy=policy_from_args(args),
+        obs=obs_from_args(args),
     )
     return finish(result)
 

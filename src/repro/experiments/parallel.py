@@ -85,6 +85,7 @@ __all__ = [
     "ExecutionReport",
     "FaultPolicy",
     "backoff_delay",
+    "cell_obs_name",
     "classify_exception",
     "compute_cell",
     "run_cells",
@@ -256,8 +257,30 @@ def backoff_delay(policy: FaultPolicy, seed: int, attempt: int) -> float:
     return base * (0.5 + frac)
 
 
-def compute_cell(cell: Cell, cycle_budget: int | None = None) -> ScenarioRun:
-    """Simulate one cell from scratch (no cache involvement)."""
+def cell_obs_name(cell: Cell) -> str:
+    """Deterministic per-cell JSONL stem: identity slug + key prefix.
+
+    The cache-key prefix disambiguates cells that share scheme, builder,
+    and seed but differ in config or policy overrides (e.g. a hysteresis
+    sweep), so a sweep's obs directory gets one file per cell.
+    """
+    return (
+        f"{cell.scheme.key}_{cell.spec.builder}_s{cell.seed}"
+        f"_{cache_key(cell)[:10]}"
+    )
+
+
+def compute_cell(
+    cell: Cell, cycle_budget: int | None = None, obs=None
+) -> ScenarioRun:
+    """Simulate one cell from scratch (no cache involvement).
+
+    ``obs`` is an optional :class:`repro.obs.ObsConfig`; an unset name is
+    filled with :func:`cell_obs_name` so concurrent cells never collide
+    on an output file.
+    """
+    if obs is not None and obs.name is None:
+        obs = obs.named(cell_obs_name(cell))
     return run_scenario(
         cell.scheme,
         cell.spec.build(),
@@ -266,11 +289,15 @@ def compute_cell(cell: Cell, cycle_budget: int | None = None) -> ScenarioRun:
         config=cell.config,
         policy_overrides=cell.policy_overrides,
         cycle_budget=cycle_budget,
+        obs=obs,
     )
 
 
 def _execute(
-    cell: Cell, cache_dir: str | None, cycle_budget: int | None = None
+    cell: Cell,
+    cache_dir: str | None,
+    cycle_budget: int | None = None,
+    obs=None,
 ) -> tuple[ScenarioRun, bool, int]:
     """Cache-aware cell execution; runs in-process or inside a worker.
 
@@ -280,10 +307,12 @@ def _execute(
     A run aborted by the cooperative cycle budget (``abort="deadline"``)
     is **not** cached: the budget is execution policy, not part of the
     cell key, and a truncated run must not be served to callers running
-    under a larger (or no) budget.
+    under a larger (or no) budget. ``obs`` is likewise execution policy
+    (never part of the key): a hit restores whatever summary the original
+    run stored — possibly none — and regenerates no JSONL.
     """
     if cache_dir is None:
-        return compute_cell(cell, cycle_budget), False, 0
+        return compute_cell(cell, cycle_budget, obs), False, 0
     cache_errors = 0
     cache = ResultCache(cache_dir)
     key = cache_key(cell)
@@ -296,7 +325,7 @@ def _execute(
         if run.metrics is not None:
             run.metrics.cache_hit = True
         return run, True, cache_errors
-    run = compute_cell(cell, cycle_budget)
+    run = compute_cell(cell, cycle_budget, obs)
     if run.abort != "deadline":
         try:
             cache.put(key, run)
@@ -305,15 +334,18 @@ def _execute(
     return run, False, cache_errors
 
 
-def _worker(cell: Cell, cache_dir: str | None, cycle_budget: int | None):
+def _worker(cell: Cell, cache_dir: str | None, cycle_budget: int | None, obs=None):
     """Pool entry point: tagged-tuple transport instead of raising.
 
     Exceptions are flattened to ``("err", type, message, traceback,
     retryable)`` — exception objects themselves may not pickle, and the
     parent needs the traceback text for the failure record either way.
+    Workers write their obs JSONL directly (the per-cell file names from
+    :func:`cell_obs_name` cannot collide); only the summary rides back on
+    the pickled run.
     """
     try:
-        run, hit, cache_errors = _execute(cell, cache_dir, cycle_budget)
+        run, hit, cache_errors = _execute(cell, cache_dir, cycle_budget, obs)
         return ("ok", run, hit, cache_errors)
     except Exception as exc:
         return (
@@ -403,10 +435,11 @@ class _Pending:
 class _Sweep:
     """Shared state + recording helpers for one run_cells_detailed call."""
 
-    def __init__(self, policy: FaultPolicy, report: ExecutionReport, journal):
+    def __init__(self, policy: FaultPolicy, report: ExecutionReport, journal, obs=None):
         self.policy = policy
         self.report = report
         self.journal = journal
+        self.obs = obs
         self.results: dict[int, CellResult] = {}
 
     def record_ok(self, entry: _Pending, run: ScenarioRun, hit: bool, cerr: int):
@@ -469,7 +502,9 @@ def _run_serial(work: list[_Pending], cache_dir, sweep: _Sweep) -> None:
         entry.started_at = time.monotonic()
         while True:
             try:
-                run, hit, cerr = _execute(entry.cell, cache_dir, policy.cycle_budget)
+                run, hit, cerr = _execute(
+                    entry.cell, cache_dir, policy.cycle_budget, sweep.obs
+                )
             except Exception as exc:
                 entry.attempts += 1
                 retryable = classify_exception(exc)
@@ -562,7 +597,9 @@ def _run_parallel(work: list[_Pending], jobs: int, cache_dir, sweep: _Sweep) -> 
                 entry = queue.popleft()
                 if entry.started_at == 0.0:
                     entry.started_at = now
-                fut = pool.submit(_worker, entry.cell, cache_dir, policy.cycle_budget)
+                fut = pool.submit(
+                    _worker, entry.cell, cache_dir, policy.cycle_budget, sweep.obs
+                )
                 deadline = (
                     now + policy.wall_timeout_s if policy.wall_timeout_s else None
                 )
@@ -678,6 +715,7 @@ def run_cells_detailed(
     cache=None,
     policy: FaultPolicy | None = None,
     use_journal: bool = True,
+    obs=None,
 ) -> tuple[list[CellResult], ExecutionReport]:
     """Execute ``cells`` fault-tolerantly; one :class:`CellResult` each.
 
@@ -690,7 +728,10 @@ def run_cells_detailed(
     repeated invocation resumes: journaled cells are restored from the
     cache up front (``report.resumed``) instead of re-simulated.
     ``use_journal=False`` disables the journal (single-cell convenience
-    calls skip it automatically).
+    calls skip it automatically). ``obs`` is an optional
+    :class:`repro.obs.ObsConfig` applied to every simulated cell (cells
+    restored from cache or journal keep whatever summary was stored with
+    them); it is execution policy and never affects cache keys.
     """
     cells = list(cells)
     if jobs < 1:
@@ -745,7 +786,7 @@ def run_cells_detailed(
                 # runs are never cached) — fall through and re-run
             work.append(_Pending(index=i, cell=cell, key=key))
 
-    sweep = _Sweep(policy, report, journal)
+    sweep = _Sweep(policy, report, journal, obs=obs)
     for res in resumed:
         sweep.results[res.index] = res
 
@@ -765,6 +806,7 @@ def run_cells(
     jobs: int = 1,
     cache=None,
     policy: FaultPolicy | None = None,
+    obs=None,
 ) -> tuple[list[ScenarioRun], ExecutionReport]:
     """Strict variant: execute ``cells`` and raise on any cell failure.
 
@@ -778,7 +820,7 @@ def run_cells(
     """
     cells = list(cells)
     results, report = run_cells_detailed(
-        cells, jobs=jobs, cache=cache, policy=policy
+        cells, jobs=jobs, cache=cache, policy=policy, obs=obs
     )
     for res in results:
         if res.failure is not None:

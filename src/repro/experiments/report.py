@@ -22,6 +22,7 @@ __all__ = [
     "effort_argparser",
     "parse_effort",
     "policy_from_args",
+    "obs_from_args",
     "failed_label",
     "finish",
 ]
@@ -92,6 +93,22 @@ def effort_argparser(description: str) -> argparse.ArgumentParser:
         help="cooperative simulated-cycle budget per cell (works at any "
         "job count; a budget-hit drain reports abort=deadline)",
     )
+    parser.add_argument(
+        "--obs",
+        default=None,
+        metavar="DIR",
+        help="record observability streams (per-class latency percentiles, "
+        "DPA timelines, link utilization) as one JSONL file per cell in "
+        "DIR; inspect with 'python -m repro.obs.report'",
+    )
+    parser.add_argument(
+        "--obs-sample-period",
+        type=int,
+        default=64,
+        metavar="CYCLES",
+        help="cycles between observability samples (default 64; "
+        "requires --obs)",
+    )
     return parser
 
 
@@ -102,6 +119,21 @@ def policy_from_args(args: argparse.Namespace) -> FaultPolicy:
         wall_timeout_s=getattr(args, "timeout", None),
         cycle_budget=getattr(args, "cycle_budget", None),
     )
+
+
+def obs_from_args(args: argparse.Namespace):
+    """Build the :class:`repro.obs.ObsConfig` the shared CLI flags describe.
+
+    Returns ``None`` when ``--obs`` was not given (the overhead-free
+    default). Imported lazily so CLIs without the flag never load the
+    obs package.
+    """
+    obs_dir = getattr(args, "obs", None)
+    if obs_dir is None:
+        return None
+    from repro.obs.collector import ObsConfig
+
+    return ObsConfig(dir=obs_dir, sample_period=getattr(args, "obs_sample_period", 64))
 
 
 def failed_label(result: CellResult) -> str:

@@ -3,7 +3,7 @@
 CLI::
 
     python -m repro.experiments.run_all [--effort medium] [--out results/]
-                                        [--jobs N] [--cache DIR]
+                                        [--jobs N] [--cache DIR] [--obs DIR]
 
 Runs E-T1, E-F9/F10/F12/F14/F15/F17 and the three ablations in sequence,
 printing each table and writing ``<out>/<experiment>.txt``, plus a
@@ -37,7 +37,7 @@ from repro.experiments import (
     table1,
 )
 from repro.experiments.parallel import FaultPolicy
-from repro.experiments.report import EXIT_CELL_FAILURE, parse_effort
+from repro.experiments.report import EXIT_CELL_FAILURE, obs_from_args, parse_effort
 
 __all__ = ["main", "EXPERIMENTS"]
 
@@ -86,8 +86,18 @@ def main(argv=None) -> int:
         "--cycle-budget", type=int, default=None, metavar="CYCLES",
         help="cooperative simulated-cycle budget per cell",
     )
+    parser.add_argument(
+        "--obs", default=None, metavar="DIR",
+        help="record observability streams, one JSONL file per simulated "
+        "cell, in DIR (table1 computes no cells and is unaffected)",
+    )
+    parser.add_argument(
+        "--obs-sample-period", type=int, default=64, metavar="CYCLES",
+        help="cycles between observability samples (default 64)",
+    )
     args = parser.parse_args(argv)
     effort = parse_effort(args.effort)
+    obs = obs_from_args(args)
     policy = FaultPolicy(
         max_attempts=args.max_attempts,
         wall_timeout_s=args.timeout,
@@ -112,7 +122,7 @@ def main(argv=None) -> int:
             else:
                 result = module.run(
                     effort=effort, seed=args.seed, jobs=args.jobs,
-                    cache=args.cache, policy=policy,
+                    cache=args.cache, policy=policy, obs=obs,
                 )
         except Exception as exc:
             # A cell failure never raises (it renders as a FAILED row);

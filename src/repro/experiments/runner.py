@@ -118,6 +118,12 @@ class ScenarioRun:
     #: wall-clock counters; excluded from comparisons — two runs of the
     #: same cell are *simulation*-identical, never timing-identical
     metrics: RunMetrics | None = field(default=None, compare=False)
+    #: observability digest (:class:`repro.obs.ObsSummary`) when a
+    #: collector was requested; excluded from comparisons because its
+    #: ``jsonl_path`` reflects this invocation, and from
+    #: :meth:`determinism_signature` because cache hits may legitimately
+    #: restore a run recorded without observability
+    obs: object | None = field(default=None, compare=False)
 
     def reduction_vs(self, baseline: "ScenarioRun", app: int | None = None) -> float:
         """Fractional APL reduction relative to ``baseline`` (positive = better)."""
@@ -155,6 +161,7 @@ def run_scenario(
     policy_overrides: dict | None = None,
     cache=None,
     cycle_budget: int | None = None,
+    obs=None,
 ) -> ScenarioRun:
     """Simulate ``scenario`` under ``scheme`` and summarize.
 
@@ -168,6 +175,11 @@ def run_scenario(
     ``cycle_budget`` caps the total simulated cycles (see
     :meth:`~repro.noc.sim.Simulator.run_measurement`); it is an execution
     policy, not part of the cell identity, so it never enters cache keys.
+    ``obs`` is an optional :class:`repro.obs.ObsConfig` — also execution
+    policy — that installs a metrics collector on the run; the resulting
+    :class:`repro.obs.ObsSummary` lands on :attr:`ScenarioRun.obs`. Note
+    a cache hit restores the summary stored with the original run (and
+    does not regenerate its JSONL stream).
     """
     if cache is not None and getattr(scenario, "spec", None) is not None:
         # Late import: parallel imports this module.
@@ -184,6 +196,7 @@ def run_scenario(
         runs, _ = run_cells(
             [cell], jobs=1, cache=cache,
             policy=FaultPolicy(cycle_budget=cycle_budget),
+            obs=obs,
         )
         return runs[0]
     cfg = config or scenario.config
@@ -197,6 +210,12 @@ def run_scenario(
         routing=scheme.routing,
         policy_kwargs=kwargs,
     )
+    if obs is not None:
+        from repro.obs.collector import MetricsCollector
+
+        MetricsCollector(
+            obs.named(f"{scheme.key}_{scenario.name}_s{seed}")
+        ).install(sim)
     for source in scenario.traffic_factory(seed):
         sim.add_traffic(source)
     res = sim.run_measurement(
@@ -215,6 +234,7 @@ def run_scenario(
         packets_measured=stats.packet_count(window=res.window),
         abort=res.abort,
         metrics=res.metrics,
+        obs=res.obs,
     )
 
 

@@ -445,6 +445,15 @@ class Network:
         """Per-(router, output port) flit counters as an ndarray snapshot."""
         return np.asarray(self._link_flits, dtype=np.int64)
 
+    def link_flit_counts(self) -> list[list[int]]:
+        """Per-(router, output port) flit counters as copied nested lists.
+
+        The observability sampler diffs successive copies to get per-link
+        flit deltas per sample period; copying lists is cheaper than the
+        ndarray conversion of :attr:`link_flits` at sampling frequency.
+        """
+        return [row[:] for row in self._link_flits]
+
     def busy_routers(self):
         """Routers currently holding at least one packet."""
         return [r for r in self.routers if r.busy_vcs]

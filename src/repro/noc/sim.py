@@ -58,6 +58,10 @@ class MeasurementResult:
     abort: str | None = None
     #: wall-clock / cycle counters for this run
     metrics: RunMetrics = field(default_factory=RunMetrics)
+    #: optional observability summary (:class:`repro.obs.ObsSummary`)
+    #: produced when a collector was installed on the simulator. Untyped
+    #: on purpose: ``repro.noc`` never imports ``repro.obs``.
+    obs: object | None = None
 
 
 class Simulator:
@@ -74,6 +78,12 @@ class Simulator:
         self._last_moved = 0
         self._last_progress_cycle = 0
         self.metrics = RunMetrics()
+        #: optional observability collector (duck-typed — anything with
+        #: ``next_sample`` / ``take_sample(cycle, network)`` /
+        #: ``finalize(end_cycle)``; see
+        #: :class:`repro.obs.collector.MetricsCollector`, whose ``install``
+        #: sets this). ``None`` costs one pointer comparison per cycle.
+        self.obs = None
         #: absolute cycle past which :meth:`run` raises
         #: :class:`~repro.util.errors.DeadlineError` (cooperative cycle
         #: budget; ``None`` disables the check). Set per-measurement by
@@ -100,6 +110,9 @@ class Simulator:
         net.place_injections(cycle)
         net.run_router_phases(cycle)
         net.policy.end_network_cycle(net, cycle)
+        obs = self.obs
+        if obs is not None and cycle >= obs.next_sample:
+            obs.take_sample(cycle, net)
         self._watchdog(cycle)
         self.cycle = cycle + 1
 
@@ -207,6 +220,12 @@ class Simulator:
         self.metrics.record_phase("warmup", warmup, t1 - t0)
         self.metrics.record_phase("measure", measure, t2 - t1)
         self.metrics.record_phase("drain", self.cycle - drain_start, t3 - t2)
+        obs = self.obs
+        obs_summary = None
+        if obs is not None:
+            obs_summary = obs.finalize(self.cycle)
+            self.metrics.obs_samples = obs.samples_taken
+            self.metrics.obs_events = obs.events_recorded
         return MeasurementResult(
             warmup=warmup,
             measure=measure,
@@ -219,4 +238,5 @@ class Simulator:
             # accumulating into self.metrics, and an aliased result would
             # silently mutate with them.
             metrics=self.metrics.snapshot(),
+            obs=obs_summary,
         )

@@ -13,6 +13,7 @@ and reductions relative to a baseline scheme.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -39,11 +40,27 @@ class RunMetrics:
     #: execution attempts the fault-tolerant engine needed for this run
     #: (1 = first try; set by the parent after retries, never by workers)
     attempts: int = 1
+    #: periodic observability samples taken during the run (0 = no
+    #: collector attached; see :mod:`repro.obs`)
+    obs_samples: int = 0
+    #: observability events recorded during the run (DPA flips + per-class
+    #: latency observations)
+    obs_events: int = 0
 
     @property
     def cycles_per_sec(self) -> float:
-        """Simulated cycles per wall-clock second (0.0 before any run)."""
-        if self.wall_time_s <= 0.0:
+        """Simulated cycles per wall-clock second.
+
+        Returns 0.0 for any run that cannot meaningfully be rated: no
+        cycles executed yet, a wall time at or below the clock resolution
+        (a cache-restored or sub-millisecond run can legitimately carry
+        ``wall_time_s == 0.0`` with ``cycles > 0`` — dividing would either
+        crash or report an absurd rate), or a non-finite wall time from a
+        corrupted metrics payload.
+        """
+        if self.cycles <= 0 or self.wall_time_s <= 0.0:
+            return 0.0
+        if not math.isfinite(self.wall_time_s):
             return 0.0
         return self.cycles / self.wall_time_s
 
@@ -62,6 +79,8 @@ class RunMetrics:
         self.phase_seconds.clear()
         self.cache_hit = False
         self.attempts = 1
+        self.obs_samples = 0
+        self.obs_events = 0
 
     def snapshot(self) -> "RunMetrics":
         """Independent copy of the current counters.
@@ -77,6 +96,8 @@ class RunMetrics:
             phase_seconds=dict(self.phase_seconds),
             cache_hit=self.cache_hit,
             attempts=self.attempts,
+            obs_samples=self.obs_samples,
+            obs_events=self.obs_events,
         )
 
     # -- serialization (result cache / FigureResult output) ------------------
@@ -89,6 +110,8 @@ class RunMetrics:
             "phase_seconds": dict(self.phase_seconds),
             "cache_hit": self.cache_hit,
             "attempts": self.attempts,
+            "obs_samples": self.obs_samples,
+            "obs_events": self.obs_events,
         }
 
     @classmethod
@@ -100,6 +123,8 @@ class RunMetrics:
             phase_seconds={str(k): float(v) for k, v in d["phase_seconds"].items()},
             cache_hit=bool(d.get("cache_hit", False)),
             attempts=int(d.get("attempts", 1)),
+            obs_samples=int(d.get("obs_samples", 0)),
+            obs_events=int(d.get("obs_events", 0)),
         )
 
 

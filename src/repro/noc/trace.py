@@ -27,6 +27,12 @@ Event vocabulary (all carry the cycle and the router node):
 ``wake`` / ``sleep``
     The router entered / left the network's active set (first packet
     arrived / last packet drained).
+``dpa_flip``
+    The router's DPA priority state changed: ``native_high`` is the new
+    state, ``ovc_n`` / ``ovc_f`` the occupied-VC counters that drove the
+    hysteresis update. Emitted only on *transitions* (the common
+    no-change cycle emits nothing), so the stream is exactly the
+    per-router hysteresis timeline the observability layer records.
 """
 
 from __future__ import annotations
@@ -72,13 +78,18 @@ class KernelTrace:
     def sleep(self, cycle: int, node: int) -> None:
         """Router ``node`` left the active set (last resident packet gone)."""
 
+    def dpa_flip(
+        self, cycle: int, node: int, native_high: bool, ovc_n: int, ovc_f: int
+    ) -> None:
+        """Router ``node``'s DPA priority flipped to ``native_high``."""
+
 
 class RecordingTrace(KernelTrace):
     """Tracer that appends every event as a tuple to :attr:`events`.
 
     Each tuple starts with the event kind (``"va_grant"``, ``"sa_win"``,
-    ``"flit_send"``, ``"credit_return"``, ``"wake"``, ``"sleep"``)
-    followed by that event's arguments in signature order.
+    ``"flit_send"``, ``"credit_return"``, ``"wake"``, ``"sleep"``,
+    ``"dpa_flip"``) followed by that event's arguments in signature order.
     """
 
     __slots__ = ("events",)
@@ -103,6 +114,9 @@ class RecordingTrace(KernelTrace):
 
     def sleep(self, cycle, node) -> None:
         self.events.append(("sleep", cycle, node))
+
+    def dpa_flip(self, cycle, node, native_high, ovc_n, ovc_f) -> None:
+        self.events.append(("dpa_flip", cycle, node, native_high, ovc_n, ovc_f))
 
     # -- inspection helpers ----------------------------------------------------
     def of_kind(self, kind: str) -> list[tuple]:

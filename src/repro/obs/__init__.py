@@ -1,0 +1,39 @@
+"""Observability subsystem: per-class metrics time-series and exporters.
+
+RAIR's argument is distributional — native vs. foreign interference shows
+up in per-class latency tails, DPA hysteresis flips, and per-link
+hotspots, not in a single APL scalar. This package records those signals
+without touching the kernel hot path when disabled:
+
+:mod:`repro.obs.collector`
+    :class:`~repro.obs.collector.MetricsCollector` — a
+    :class:`~repro.noc.trace.KernelTrace` subclass (for the ``dpa_flip``
+    event stream) plus a periodic sampler driven by
+    :meth:`~repro.noc.sim.Simulator.step`. Produces an
+    :class:`~repro.obs.collector.ObsSummary` and optionally a
+    schema-versioned JSONL stream.
+:mod:`repro.obs.schema`
+    The JSONL record vocabulary, schema version, and validators.
+:mod:`repro.obs.exporters`
+    JSONL/CSV writers.
+:mod:`repro.obs.report`
+    ``python -m repro.obs.report run.jsonl`` — validation (``--check``),
+    a compact human-readable summary, and CSV export (``--csv``).
+
+Overhead contract: with no collector installed, the simulator pays one
+pointer comparison per cycle and one per emitted kernel event — measured
+within noise of the untraced kernel benchmark (docs/OBSERVABILITY.md).
+"""
+
+from repro.obs.collector import MetricsCollector, ObsConfig, ObsSummary
+from repro.obs.schema import SCHEMA_VERSION, ObsSchemaError, load_jsonl, validate_stream
+
+__all__ = [
+    "MetricsCollector",
+    "ObsConfig",
+    "ObsSummary",
+    "SCHEMA_VERSION",
+    "ObsSchemaError",
+    "load_jsonl",
+    "validate_stream",
+]

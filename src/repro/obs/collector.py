@@ -1,0 +1,375 @@
+"""The metrics collector: trace hooks + periodic sampling + summaries.
+
+:class:`MetricsCollector` combines three cheap capture mechanisms:
+
+* the :class:`~repro.noc.trace.KernelTrace` hook protocol, of which it
+  overrides only ``dpa_flip`` — the kernel emits that event on priority
+  *transitions* only, so the DPA hysteresis timeline costs nothing on
+  no-change cycles;
+* a periodic sampler called from :meth:`repro.noc.sim.Simulator.step`
+  every ``sample_period`` cycles, snapshotting per-router buffered flits,
+  native/foreign occupied-VC counters, and per-link flit deltas;
+* an ejection callback classifying each measured packet's latency as
+  native / foreign (destination-region membership) and global (global-VC
+  packets, a subset), for the per-class percentile summaries.
+
+The collector is single-use per simulator but :meth:`finalize` is
+idempotent: it derives the latency/summary records from the accumulated
+state without consuming it, so a second ``run_measurement`` on the same
+simulator extends the time series and re-finalizes a longer stream.
+
+Nothing in ``repro.noc`` imports this module — the simulator talks to the
+collector through the duck-typed ``next_sample`` / ``take_sample`` /
+``finalize`` surface, keeping the core free of observability concerns.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.noc.trace import KernelTrace
+from repro.obs.schema import LATENCY_CLASSES, SCHEMA_VERSION
+from repro.util.errors import ConfigError
+
+__all__ = ["ObsConfig", "ObsSummary", "MetricsCollector", "sanitize_name"]
+
+_NAME_OK = re.compile(r"[^A-Za-z0-9._+-]+")
+
+
+def sanitize_name(name: str) -> str:
+    """Collapse anything filesystem-hostile in a run name to ``-``."""
+    return _NAME_OK.sub("-", name).strip("-") or "run"
+
+
+@dataclass(frozen=True)
+class ObsConfig:
+    """Observability settings, threaded through the experiment stack.
+
+    Frozen and picklable so it crosses process boundaries with the cell.
+    It is *execution* policy, like ``cycle_budget``: it never enters
+    result-cache keys (the simulation is bit-identical with or without a
+    collector installed).
+
+    ``dir=None`` keeps everything in memory — the run still gets an
+    :class:`ObsSummary` but no JSONL file. ``name`` is the output file
+    stem; the experiment layer fills it per cell when unset.
+    """
+
+    dir: str | None
+    sample_period: int = 64
+    name: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.sample_period < 1:
+            raise ConfigError(
+                f"sample_period must be >= 1, got {self.sample_period}"
+            )
+
+    def named(self, default: str) -> "ObsConfig":
+        """This config with ``name`` defaulted (and sanitized) if unset."""
+        return replace(self, name=sanitize_name(self.name or default))
+
+
+@dataclass
+class ObsSummary:
+    """Compact per-run digest of the full observability stream.
+
+    Fully simulation-determined (no wall-clock anywhere), so two runs of
+    the same cell — serial, in a worker, or restored from the result
+    cache — compare equal. ``jsonl_path`` is excluded from comparisons:
+    it reflects where *this* invocation wrote the stream, not what the
+    simulation did.
+    """
+
+    end_cycle: int
+    sample_period: int
+    samples: int
+    events: int
+    dpa_flips: int
+    dpa_flips_by_node: dict[int, int]
+    #: class -> {count, mean, p50, p95, p99, max} (stats absent when count=0)
+    latency: dict[str, dict]
+    #: {mean, max, max_node, max_port} flit utilization per link
+    link_util: dict
+    schema: int = SCHEMA_VERSION
+    jsonl_path: str | None = field(default=None, compare=False)
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": self.schema,
+            "end_cycle": self.end_cycle,
+            "sample_period": self.sample_period,
+            "samples": self.samples,
+            "events": self.events,
+            "dpa_flips": self.dpa_flips,
+            "dpa_flips_by_node": {str(k): v for k, v in self.dpa_flips_by_node.items()},
+            "latency": {cls: dict(stats) for cls, stats in self.latency.items()},
+            "link_util": dict(self.link_util),
+            "jsonl_path": self.jsonl_path,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "ObsSummary":
+        return cls(
+            schema=int(d.get("schema", SCHEMA_VERSION)),
+            end_cycle=int(d["end_cycle"]),
+            sample_period=int(d["sample_period"]),
+            samples=int(d["samples"]),
+            events=int(d["events"]),
+            dpa_flips=int(d["dpa_flips"]),
+            dpa_flips_by_node={int(k): int(v) for k, v in d["dpa_flips_by_node"].items()},
+            latency={str(c): dict(s) for c, s in d["latency"].items()},
+            link_util=dict(d["link_util"]),
+            jsonl_path=d.get("jsonl_path"),
+        )
+
+
+def _latency_stats(samples: list[int]) -> dict:
+    """p50/p95/p99 summary + log2 histogram of one latency class."""
+    a = np.asarray(samples, dtype=np.int64)
+    # Bucket i counts latencies in [2^i, 2^(i+1)); frexp gives the exact
+    # binary exponent, immune to the float rounding of log2 at powers of 2.
+    buckets = np.frexp(a.astype(np.float64))[1] - 1
+    hist = np.bincount(buckets)
+    return {
+        "count": int(len(a)),
+        "mean": float(np.mean(a)),
+        "p50": float(np.percentile(a, 50)),
+        "p95": float(np.percentile(a, 95)),
+        "p99": float(np.percentile(a, 99)),
+        "max": float(np.max(a)),
+        "hist": [int(x) for x in hist],
+    }
+
+
+class MetricsCollector(KernelTrace):
+    """Records the observability stream for one simulator.
+
+    Install with :meth:`install` *before* ``run_measurement``; the
+    simulator drives sampling and finalization. The collector claims the
+    network's trace slot (for ``dpa_flip``) — installing over an existing
+    tracer is refused rather than silently chained.
+    """
+
+    __slots__ = (
+        "config",
+        "next_sample",
+        "samples_taken",
+        "events_recorded",
+        "_net",
+        "_region_of",
+        "_records",
+        "_prev_link",
+        "_install_link",
+        "_start_cycle",
+        "_lat",
+        "_flips_by_node",
+    )
+
+    def __init__(self, config: ObsConfig):
+        self.config = config
+        self.next_sample = 0
+        self.samples_taken = 0
+        self.events_recorded = 0
+        self._net = None
+        self._records: list[dict] = []
+        self._lat: dict[str, list[int]] = {cls: [] for cls in LATENCY_CLASSES}
+        self._flips_by_node: dict[int, int] = {}
+
+    # -- wiring -----------------------------------------------------------------
+    def install(self, sim) -> "MetricsCollector":
+        """Attach to ``sim``: trace slot, obs slot, ejection callback."""
+        net = sim.network
+        if net.trace is not None:
+            raise ConfigError(
+                "network already has a trace installed; the collector "
+                "needs the trace slot for DPA flip events"
+            )
+        if self._net is not None:
+            raise ConfigError("collector is already installed on a simulator")
+        net.trace = self
+        sim.obs = self
+        self._net = net
+        self._region_of = net.region_of
+        net.eject_callbacks.append(self._on_eject)
+        self._start_cycle = sim.cycle
+        period = self.config.sample_period
+        self.next_sample = (sim.cycle // period + 1) * period
+        self._prev_link = net.link_flit_counts()
+        self._install_link = [row[:] for row in self._prev_link]
+        cfg = net.config
+        self._records.append(
+            {
+                "kind": "header",
+                "schema": SCHEMA_VERSION,
+                "name": self.config.name or "run",
+                "width": cfg.width,
+                "height": cfg.height,
+                "num_nodes": net.topology.num_nodes,
+                "sample_period": period,
+                "start_cycle": sim.cycle,
+            }
+        )
+        self._records.append(
+            {
+                "kind": "dpa_init",
+                "cycle": sim.cycle,
+                "native_high": [bool(r.native_high) for r in net.routers],
+            }
+        )
+        return self
+
+    # -- trace hook (the only kernel event the collector consumes) ---------------
+    def dpa_flip(self, cycle, node, native_high, ovc_n, ovc_f) -> None:
+        self._records.append(
+            {
+                "kind": "dpa_flip",
+                "cycle": cycle,
+                "node": node,
+                "native_high": bool(native_high),
+                "ovc_n": ovc_n,
+                "ovc_f": ovc_f,
+            }
+        )
+        self._flips_by_node[node] = self._flips_by_node.get(node, 0) + 1
+        self.events_recorded += 1
+
+    # -- periodic sampler (called by Simulator.step) ------------------------------
+    def take_sample(self, cycle: int, net) -> None:
+        """Snapshot per-router and per-link state at a period boundary."""
+        routers = net.routers
+        self._records.append(
+            {
+                "kind": "vc_sample",
+                "cycle": cycle,
+                "occupancy": list(net.occupancy),
+                "ovc_n": [r.ovc_n for r in routers],
+                "ovc_f": [r.ovc_f for r in routers],
+            }
+        )
+        cur = net.link_flit_counts()
+        prev = self._prev_link
+        self._records.append(
+            {
+                "kind": "link_sample",
+                "cycle": cycle,
+                "flits": [
+                    [c - p for c, p in zip(crow, prow)]
+                    for crow, prow in zip(cur, prev)
+                ],
+            }
+        )
+        self._prev_link = cur
+        self.samples_taken += 1
+        self.next_sample = cycle + self.config.sample_period
+
+    # -- per-packet latency classification ----------------------------------------
+    def _on_eject(self, pkt, eject_cycle: int) -> None:
+        w = self._net.measure_window
+        if w is None or not (w[0] <= pkt.inject_cycle < w[1]) or pkt.is_adversarial:
+            return
+        latency = eject_cycle - pkt.inject_cycle
+        app = pkt.app_id
+        if app >= 0 and int(self._region_of[pkt.dst]) == app:
+            self._lat["native"].append(latency)
+        else:
+            self._lat["foreign"].append(latency)
+        if pkt.is_global:
+            self._lat["global"].append(latency)
+        self.events_recorded += 1
+
+    # -- finalization ---------------------------------------------------------------
+    def finalize(self, end_cycle: int) -> ObsSummary:
+        """Derive the latency/summary records, write JSONL, return the digest."""
+        net = self._net
+        if net is None:
+            raise ConfigError("collector was never installed")
+        latency: dict[str, dict] = {}
+        tail: list[dict] = []
+        for cls in LATENCY_CLASSES:
+            samples = self._lat[cls]
+            if samples:
+                stats = _latency_stats(samples)
+            else:
+                stats = {"count": 0}
+            latency[cls] = stats
+            tail.append({"kind": "latency_class", "cls": cls, **stats})
+        link_util = self._link_utilization(end_cycle)
+        dpa_flips = sum(self._flips_by_node.values())
+        tail.append(
+            {
+                "kind": "summary",
+                "cycle": end_cycle,
+                "samples": self.samples_taken,
+                "events": self.events_recorded,
+                "dpa_flips": dpa_flips,
+                "link_util": link_util,
+            }
+        )
+        records = self._records + tail
+        path = None
+        if self.config.dir is not None:
+            from repro.obs.exporters import write_jsonl
+
+            os.makedirs(self.config.dir, exist_ok=True)
+            stem = sanitize_name(self.config.name or "run")
+            path = os.path.join(self.config.dir, f"{stem}.jsonl")
+            write_jsonl(records, path)
+        return ObsSummary(
+            end_cycle=end_cycle,
+            sample_period=self.config.sample_period,
+            samples=self.samples_taken,
+            events=self.events_recorded,
+            dpa_flips=dpa_flips,
+            dpa_flips_by_node=dict(sorted(self._flips_by_node.items())),
+            latency=latency,
+            link_util=link_util,
+            jsonl_path=path,
+        )
+
+    def _link_utilization(self, end_cycle: int) -> dict:
+        """Flits/cycle per physical link since install (mean + hottest)."""
+        net = self._net
+        elapsed = end_cycle - self._start_cycle
+        neighbor = net.topology.neighbor
+        cur = net.link_flit_counts()
+        base = self._install_link
+        best = (-1.0, 0, 0)
+        total = 0.0
+        links = 0
+        for node, (crow, brow) in enumerate(zip(cur, base)):
+            for port in range(len(crow)):
+                # Port 0 is the ejection link (always present); others
+                # only exist where the mesh has a neighbor.
+                if port != 0 and neighbor[node][port] < 0:
+                    continue
+                util = (crow[port] - brow[port]) / elapsed if elapsed > 0 else 0.0
+                total += util
+                links += 1
+                if util > best[0]:
+                    best = (util, node, port)
+        return {
+            "mean": total / links if links else 0.0,
+            "max": max(best[0], 0.0),
+            "max_node": best[1],
+            "max_port": best[2],
+        }
+
+    def records(self) -> list[dict]:
+        """The time-series records accumulated so far (no finalize tail)."""
+        return list(self._records)
+
+
+def dumps_record(rec: dict) -> str:
+    """Canonical one-line JSON encoding (sorted keys, no whitespace).
+
+    Shared by the JSONL writer so the stream is byte-identical wherever
+    it is produced — the seed-matrix determinism test diffs raw files
+    across serial and worker-process runs.
+    """
+    return json.dumps(rec, sort_keys=True, separators=(",", ":"))

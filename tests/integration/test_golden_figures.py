@@ -1,0 +1,92 @@
+"""Golden-number regression tests for the reproduced tables.
+
+Each test runs a tiny fixed-seed configuration of a figure CLI and
+compares the *entire* rendered table — rows, columns, notes — against a
+checked-in expectation, exactly. The simulator is deterministic, so any
+diff means a behavior change: kernel refactors, observability wiring, or
+policy edits cannot silently shift the paper numbers.
+
+Execution metrics (wall time, cache counters) are stripped before
+comparison — they are the only legitimately run-dependent part of a
+:class:`~repro.experiments.runner.FigureResult`.
+
+To regenerate after an *intentional* simulation change::
+
+    PYTHONPATH=src python tests/integration/test_golden_figures.py --regen
+
+and review the diff like any other code change.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import pytest
+
+from repro.experiments import fig09_msp, fig12_dpa, table1
+from repro.experiments.runner import Effort
+
+GOLDEN_DIR = pathlib.Path(__file__).parent / "golden"
+
+#: fixed seed for the golden runs — never change without regenerating
+GOLDEN_SEED = 42
+
+
+def _fig09():
+    return fig09_msp.run(effort=Effort.SMOKE, seed=GOLDEN_SEED, p_values=(0.0, 1.0))
+
+
+def _fig12():
+    return fig12_dpa.run(effort=Effort.SMOKE, seed=GOLDEN_SEED, variants=("a",))
+
+
+def _table1():
+    return table1.run()
+
+
+CASES = {
+    "fig09_smoke": _fig09,
+    "fig12a_smoke": _fig12,
+    "table1": _table1,
+}
+
+
+def _normalized(result) -> dict:
+    """JSON-round-tripped table dict without the execution metrics."""
+    d = result.to_json_dict()
+    d.pop("metrics", None)
+    return json.loads(json.dumps(d))
+
+
+@pytest.mark.parametrize("name", sorted(CASES))
+def test_golden_table(name):
+    path = GOLDEN_DIR / f"{name}.json"
+    assert path.exists(), (
+        f"missing golden file {path}; generate it with "
+        f"'PYTHONPATH=src python {__file__} --regen'"
+    )
+    expected = json.loads(path.read_text())
+    actual = _normalized(CASES[name]())
+    assert actual == expected, (
+        f"{name} drifted from its golden table; if the change is "
+        f"intentional, regenerate with 'PYTHONPATH=src python {__file__} "
+        f"--regen' and commit the diff"
+    )
+
+
+def _regen() -> None:
+    GOLDEN_DIR.mkdir(exist_ok=True)
+    for name, factory in sorted(CASES.items()):
+        path = GOLDEN_DIR / f"{name}.json"
+        path.write_text(json.dumps(_normalized(factory()), indent=2) + "\n")
+        print(f"wrote {path}")
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--regen" in sys.argv:
+        _regen()
+    else:
+        print(__doc__)

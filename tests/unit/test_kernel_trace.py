@@ -6,11 +6,12 @@ Named ``test_kernel_trace`` because ``test_trace.py`` already covers
 
 from __future__ import annotations
 
-from repro import build_simulation
+from repro import RegionMap, build_simulation
 from repro.noc.config import NocConfig
-from repro.noc.topology import LOCAL
+from repro.noc.topology import LOCAL, MeshTopology
 from repro.noc.trace import KernelTrace, RecordingTrace
 from repro.traffic.patterns import UniformPattern
+from repro.traffic.regional import RegionalAppTraffic
 from repro.traffic.synthetic import FixedLength, SyntheticTrafficSource
 
 
@@ -49,6 +50,7 @@ class TestKernelTraceBase:
         assert tr.credit_return(0, 1, 2, 3) is None
         assert tr.wake(0, 1) is None
         assert tr.sleep(0, 1) is None
+        assert tr.dpa_flip(0, 1, True, 2, 3) is None
 
     def test_untraced_network_has_no_tracer(self):
         cfg = NocConfig(width=4, height=4)
@@ -132,3 +134,75 @@ class TestTracedSimulation:
         traced = _traced_run(RecordingTrace())
         assert traced.flits_moved == untraced.flits_moved
         assert traced.stats.packets_ejected == untraced.stats.packets_ejected
+
+
+def _rair_flood_run(trace, cycles=800):
+    """RAIR mesh under a foreign flood — guaranteed to flip DPA state."""
+    cfg = NocConfig(width=6, height=6)
+    rm = RegionMap.halves(MeshTopology(6, 6))
+    sim, net = build_simulation(
+        cfg, region_map=rm, scheme="rair", routing="local", trace=trace
+    )
+    sim.add_traffic(
+        RegionalAppTraffic(rm, 0, rate=0.02, seed=3,
+                           intra_fraction=1.0, inter_fraction=0.0, mc_fraction=0.0)
+    )
+    sim.add_traffic(
+        SyntheticTrafficSource(
+            nodes=range(36), rate=0.30, pattern=UniformPattern(net.topology),
+            app_id=500, seed=4,
+        )
+    )
+    sim.run(cycles)
+    return net
+
+
+class TestDpaFlipTrace:
+    """The dpa_flip kernel event added for the observability subsystem."""
+
+    def test_flips_are_recorded_in_signature_order(self):
+        tr = RecordingTrace()
+        _rair_flood_run(tr)
+        flips = tr.of_kind("dpa_flip")
+        assert flips, "foreign flood produced no DPA transitions"
+        for kind, cycle, node, native_high, ovc_n, ovc_f in flips:
+            assert kind == "dpa_flip"
+            assert cycle >= 0
+            assert 0 <= node < 36
+            assert isinstance(native_high, bool)
+            assert ovc_n >= 0 and ovc_f >= 0
+
+    def test_flips_are_transitions_only(self):
+        """Per router the flip stream strictly alternates, starting from
+        the reset state (foreign-high, i.e. native_high False)."""
+        tr = RecordingTrace()
+        net = _rair_flood_run(tr)
+        state = dict.fromkeys(range(36), False)
+        for _, _cycle, node, native_high, _n, _f in tr.of_kind("dpa_flip"):
+            assert native_high != state[node], (
+                f"dpa_flip on node {node} repeated state {native_high}"
+            )
+            state[node] = native_high
+        # The replayed stream must land on the routers' final live state.
+        for router in net.routers:
+            assert state[router.node] == router.native_high
+
+    def test_flip_tracing_does_not_perturb_simulation(self):
+        untraced = _rair_flood_run(None)
+        traced = _rair_flood_run(RecordingTrace())
+        assert traced.flits_moved == untraced.flits_moved
+        assert traced.stats.packets_ejected == untraced.stats.packets_ejected
+        assert [r.native_high for r in traced.routers] == [
+            r.native_high for r in untraced.routers
+        ]
+
+    def test_hot_path_keeps_one_pointer_check_guard(self):
+        """The emit site must stay a single ``tr is not None`` pointer
+        check, inside the transition branch — untraced runs pay nothing."""
+        import inspect
+
+        from repro.core.rair import RairPolicy
+
+        src = inspect.getsource(RairPolicy.end_router_cycle)
+        assert src.count("self.network.trace") == 1
+        assert "if tr is not None" in src

@@ -1,0 +1,199 @@
+"""Unit tests for the observability JSONL schema validators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.schema import (
+    LATENCY_CLASSES,
+    RECORD_KINDS,
+    SCHEMA_VERSION,
+    ObsSchemaError,
+    load_jsonl,
+    validate_record,
+    validate_stream,
+)
+
+
+def _header(**over) -> dict:
+    rec = {
+        "kind": "header",
+        "schema": SCHEMA_VERSION,
+        "name": "run",
+        "width": 4,
+        "height": 4,
+        "num_nodes": 16,
+        "sample_period": 64,
+        "start_cycle": 0,
+    }
+    rec.update(over)
+    return rec
+
+
+def _summary(**over) -> dict:
+    rec = {
+        "kind": "summary",
+        "cycle": 500,
+        "samples": 7,
+        "events": 12,
+        "dpa_flips": 3,
+        "link_util": {"mean": 0.1, "max": 0.5, "max_node": 0, "max_port": 1},
+    }
+    rec.update(over)
+    return rec
+
+
+def _stream() -> list[dict]:
+    """A minimal valid stream touching every record kind."""
+    return [
+        _header(),
+        {"kind": "dpa_init", "cycle": 0, "native_high": [False] * 16},
+        {
+            "kind": "dpa_flip", "cycle": 64, "node": 3,
+            "native_high": True, "ovc_n": 1, "ovc_f": 4,
+        },
+        {
+            "kind": "vc_sample", "cycle": 64,
+            "occupancy": [0] * 16, "ovc_n": [0] * 16, "ovc_f": [0] * 16,
+        },
+        {"kind": "link_sample", "cycle": 64, "flits": [[0] * 5] * 16},
+        {
+            "kind": "latency_class", "cls": "native", "count": 2,
+            "mean": 10.0, "p50": 10.0, "p95": 12.0, "p99": 12.0, "max": 12.0,
+            "hist": [0, 0, 0, 2],
+        },
+        {"kind": "latency_class", "cls": "foreign", "count": 0},
+        {"kind": "latency_class", "cls": "global", "count": 0},
+        _summary(),
+    ]
+
+
+class TestValidateRecord:
+    def test_every_kind_in_the_minimal_stream_validates(self):
+        kinds = [validate_record(rec) for rec in _stream()]
+        assert set(kinds) == set(RECORD_KINDS)
+
+    def test_non_object_rejected(self):
+        with pytest.raises(ObsSchemaError, match="not an object"):
+            validate_record([1, 2, 3])
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ObsSchemaError, match="unknown record kind"):
+            validate_record({"kind": "telemetry"})
+        with pytest.raises(ObsSchemaError, match="unknown record kind"):
+            validate_record({"cycle": 5})  # no kind at all
+
+    def test_missing_field_rejected_with_lineno(self):
+        rec = _header()
+        del rec["sample_period"]
+        with pytest.raises(ObsSchemaError, match=r"sample_period.*line 17"):
+            validate_record(rec, lineno=17)
+
+    def test_wrong_type_rejected(self):
+        with pytest.raises(ObsSchemaError, match="has type str"):
+            validate_record(_header(width="4"))
+
+    def test_bool_is_not_an_int(self):
+        # bool subclasses int; an int field must still reject it.
+        with pytest.raises(ObsSchemaError, match="must be an integer, got bool"):
+            validate_record(_header(width=True))
+
+    def test_int_is_not_a_bool(self):
+        rec = {
+            "kind": "dpa_flip", "cycle": 1, "node": 0,
+            "native_high": 1, "ovc_n": 0, "ovc_f": 0,
+        }
+        with pytest.raises(ObsSchemaError, match="native_high"):
+            validate_record(rec)
+
+    def test_extra_fields_are_tolerated(self):
+        # Forward compatibility: new optional fields keep the version.
+        assert validate_record(_header(comment="added in v1.1")) == "header"
+
+    def test_unknown_latency_class_rejected(self):
+        rec = {"kind": "latency_class", "cls": "adversarial", "count": 0}
+        with pytest.raises(ObsSchemaError, match="unknown latency class"):
+            validate_record(rec)
+
+    def test_nonempty_latency_class_requires_stats(self):
+        rec = {"kind": "latency_class", "cls": "native", "count": 3}
+        with pytest.raises(ObsSchemaError, match="missing numeric field"):
+            validate_record(rec)
+        rec.update(mean=1.0, p50=1.0, p95=1.0, p99=1.0, max=1.0)
+        with pytest.raises(ObsSchemaError, match="'hist'"):
+            validate_record(rec)
+        rec["hist"] = [3]
+        assert validate_record(rec) == "latency_class"
+
+    def test_empty_latency_class_needs_no_stats(self):
+        for cls in LATENCY_CLASSES:
+            assert validate_record({"kind": "latency_class", "cls": cls, "count": 0})
+
+
+class TestValidateStream:
+    def test_minimal_stream_counts(self):
+        counts = validate_stream(_stream())
+        assert counts == {
+            "header": 1, "dpa_init": 1, "dpa_flip": 1, "vc_sample": 1,
+            "link_sample": 1, "latency_class": 3, "summary": 1,
+        }
+
+    def test_empty_stream_rejected(self):
+        with pytest.raises(ObsSchemaError, match="empty stream"):
+            validate_stream([])
+
+    def test_must_start_with_header(self):
+        stream = _stream()[1:]
+        with pytest.raises(ObsSchemaError, match="must start with a header"):
+            validate_stream(stream)
+
+    def test_future_schema_version_rejected(self):
+        stream = _stream()
+        stream[0] = _header(schema=SCHEMA_VERSION + 1)
+        with pytest.raises(ObsSchemaError, match="unsupported schema version"):
+            validate_stream(stream)
+
+    def test_duplicate_header_rejected(self):
+        stream = _stream()
+        stream.insert(4, _header())
+        with pytest.raises(ObsSchemaError, match="duplicate header at line 5"):
+            validate_stream(stream)
+
+    def test_time_must_not_go_backwards(self):
+        stream = _stream()
+        stream.insert(
+            5,
+            {
+                "kind": "dpa_flip", "cycle": 10, "node": 3,
+                "native_high": False, "ovc_n": 2, "ovc_f": 1,
+            },
+        )
+        with pytest.raises(ObsSchemaError, match="cycle went backwards at line 6"):
+            validate_stream(stream)
+
+    def test_exactly_one_trailing_summary(self):
+        no_summary = _stream()[:-1]
+        with pytest.raises(ObsSchemaError, match="exactly one summary"):
+            validate_stream(no_summary)
+        double = _stream() + [_summary()]
+        with pytest.raises(ObsSchemaError, match="exactly one summary"):
+            validate_stream(double)
+        not_last = _stream() + [{"kind": "latency_class", "cls": "native", "count": 0}]
+        with pytest.raises(ObsSchemaError, match="exactly one summary"):
+            validate_stream(not_last)
+
+    def test_latency_classes_constant_matches_schema(self):
+        assert LATENCY_CLASSES == ("native", "foreign", "global")
+
+
+class TestLoadJsonl:
+    def test_round_trip_skips_blank_lines(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        path.write_text('{"kind":"header"}\n\n{"kind":"summary"}\n')
+        assert load_jsonl(path) == [{"kind": "header"}, {"kind": "summary"}]
+
+    def test_invalid_json_names_path_and_line(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"kind":"header"}\n{oops\n')
+        with pytest.raises(ObsSchemaError, match=r"bad\.jsonl:2"):
+            load_jsonl(path)

@@ -80,6 +80,93 @@ class TestRunMetricsCounters:
         assert d["cycles_per_sec"] == res.metrics.cycles_per_sec
 
 
+class TestCyclesPerSecEdgeCases:
+    """cycles_per_sec must be 0.0 — never a crash or an absurd rate —
+    whenever the run cannot meaningfully be rated."""
+
+    def test_fresh_metrics_rate_is_zero(self):
+        assert RunMetrics().cycles_per_sec == 0.0
+
+    def test_cycles_without_wall_time(self):
+        # A cache-restored or sub-clock-resolution run: cycles > 0 but a
+        # measured wall time of exactly 0.0 must not divide by zero.
+        m = RunMetrics(cycles=10_000, wall_time_s=0.0)
+        assert m.cycles_per_sec == 0.0
+
+    def test_wall_time_without_cycles(self):
+        m = RunMetrics(cycles=0, wall_time_s=2.5)
+        assert m.cycles_per_sec == 0.0
+
+    def test_negative_wall_time_is_not_rated(self):
+        m = RunMetrics(cycles=100, wall_time_s=-1.0)
+        assert m.cycles_per_sec == 0.0
+
+    def test_non_finite_wall_time_is_not_rated(self):
+        for bad in (float("inf"), float("nan")):
+            m = RunMetrics(cycles=100, wall_time_s=bad)
+            assert m.cycles_per_sec == 0.0
+
+    def test_normal_rate(self):
+        m = RunMetrics(cycles=500, wall_time_s=2.0)
+        assert m.cycles_per_sec == 250.0
+
+    def test_round_trip_preserves_zero_rate_payload(self):
+        m = RunMetrics(cycles=10, wall_time_s=0.0)
+        d = m.to_dict()
+        assert d["cycles_per_sec"] == 0.0
+        assert RunMetrics.from_dict(d) == m
+
+
+class TestObsCounters:
+    """obs_samples / obs_events ride along with the other counters."""
+
+    def test_default_zero_and_reset(self):
+        m = RunMetrics(cycles=5, obs_samples=3, obs_events=11)
+        assert m.obs_samples == 3 and m.obs_events == 11
+        m.reset()
+        assert m.obs_samples == 0 and m.obs_events == 0
+
+    def test_snapshot_copies_obs_counters(self):
+        m = RunMetrics(obs_samples=7, obs_events=42)
+        snap = m.snapshot()
+        m.obs_samples = 0
+        m.obs_events = 0
+        assert snap.obs_samples == 7 and snap.obs_events == 42
+
+    def test_dict_round_trip_with_and_without_keys(self):
+        m = RunMetrics(obs_samples=2, obs_events=9)
+        d = m.to_dict()
+        assert d["obs_samples"] == 2 and d["obs_events"] == 9
+        assert RunMetrics.from_dict(d) == m
+        # Payloads written before the obs subsystem existed lack the keys.
+        legacy = {k: v for k, v in d.items() if not k.startswith("obs_")}
+        back = RunMetrics.from_dict(legacy)
+        assert back.obs_samples == 0 and back.obs_events == 0
+
+    def test_populated_by_an_obs_enabled_run(self):
+        from repro.obs import MetricsCollector, ObsConfig
+
+        cfg = NocConfig(width=4, height=4)
+        sim, net = build_simulation(cfg, scheme="ro_rr", routing="xy")
+        sim.add_traffic(
+            SyntheticTrafficSource(
+                nodes=range(cfg.num_nodes),
+                rate=0.05,
+                pattern=UniformPattern(net.topology),
+                app_id=0,
+                seed=7,
+                lengths=FixedLength(1),
+            )
+        )
+        collector = MetricsCollector(ObsConfig(dir=None, sample_period=32))
+        collector.install(sim)
+        res = sim.run_measurement(warmup=100, measure=400, drain_limit=20_000)
+        assert res.metrics.obs_samples == collector.samples_taken > 0
+        assert res.metrics.obs_events == collector.events_recorded > 0
+        assert res.obs is not None
+        assert res.obs.samples == res.metrics.obs_samples
+
+
 class TestFigureResultMetricsOutput:
     def test_metrics_rendered_and_serialized(self):
         fig = FigureResult(
