@@ -1,0 +1,97 @@
+"""Compare two BENCH_*.json files and gate on throughput regressions.
+
+Usage::
+
+    python -m benchmarks.compare results/BENCH_kernel.json new.json
+    python -m benchmarks.compare old.json new.json --threshold 0.2
+
+Both files must carry a top-level ``cycles_per_sec`` mapping (rate ->
+cycles/sec), the shape every BENCH emitter in this repo writes. The tool
+prints a per-rate speedup table (new relative to old) and exits nonzero
+when any shared rate regressed by more than ``--threshold`` (default
+0.10, i.e. new < 90% of old) — the CI benchmark lane's gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+__all__ = ["compare", "main"]
+
+
+def _load_speeds(path: pathlib.Path) -> dict[str, float]:
+    data = json.loads(path.read_text())
+    speeds = data.get("cycles_per_sec")
+    if not isinstance(speeds, dict) or not speeds:
+        raise ValueError(f"{path}: no 'cycles_per_sec' mapping")
+    return {str(k): float(v) for k, v in speeds.items()}
+
+
+def compare(old: dict[str, float], new: dict[str, float], threshold: float):
+    """Per-rate ratios plus the rates that regressed beyond ``threshold``.
+
+    Returns ``(rows, regressions)`` where rows are
+    ``(rate, old_cps, new_cps, ratio)`` over the shared rates.
+    """
+    shared = sorted(set(old) & set(new), key=float)
+    rows = []
+    regressions = []
+    for rate in shared:
+        ratio = new[rate] / old[rate] if old[rate] > 0 else float("inf")
+        rows.append((rate, old[rate], new[rate], ratio))
+        if ratio < 1.0 - threshold:
+            regressions.append(rate)
+    return rows, regressions
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m benchmarks.compare",
+        description="Diff two BENCH_*.json files; nonzero exit on regression.",
+    )
+    parser.add_argument("old", help="baseline BENCH json")
+    parser.add_argument("new", help="candidate BENCH json")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.10,
+        help="allowed fractional slowdown before failing (default 0.10)",
+    )
+    args = parser.parse_args(argv if argv is not None else sys.argv[1:])
+    if not 0.0 <= args.threshold < 1.0:
+        print(f"threshold must be in [0, 1), got {args.threshold}", file=sys.stderr)
+        return 2
+
+    try:
+        old = _load_speeds(pathlib.Path(args.old))
+        new = _load_speeds(pathlib.Path(args.new))
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    rows, regressions = compare(old, new, args.threshold)
+    if not rows:
+        print("error: the two files share no rates", file=sys.stderr)
+        return 2
+
+    print(f"{'rate':>8} {'old c/s':>14} {'new c/s':>14} {'speedup':>8}")
+    for rate, o, n, ratio in rows:
+        flag = "  << regression" if rate in regressions else ""
+        print(f"{rate:>8} {o:>14,.0f} {n:>14,.0f} {ratio:>7.2f}x{flag}")
+
+    if regressions:
+        print(
+            f"FAIL: {len(regressions)} rate(s) regressed more than "
+            f"{args.threshold:.0%}: {', '.join(regressions)}",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"OK: no rate regressed more than {args.threshold:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

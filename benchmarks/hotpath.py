@@ -1,0 +1,66 @@
+"""Hot-path workload: trickle traffic with genuine idle gaps.
+
+The kernel-speed benchmark (``test_kernel_speed.py``) keeps every node
+injecting, so it measures the *busy* kernel. This workload measures the
+other half of real experiment time: an 8x8 mesh where only the two
+opposite corners inject, at per-node rates that leave the chip idle for
+most cycles at the low end and a substantial minority at the high end —
+the regime where idle-cycle fast-forward, packet pooling, and the
+precomputed routing tables pay.
+
+``hotpath_cycles_per_sec`` is importable and deliberately restricted to
+APIs that exist in both the current tree and the pre-optimisation tree:
+``benchmarks/interleave.py`` calls it alternately against the two trees
+in one process (sys.path swap) to produce ``results/BENCH_hotpath.json``
+with machine-load-fair speedups.
+"""
+
+from __future__ import annotations
+
+RATES = (0.05, 0.2, 0.4)  # flits/source-node/cycle: mostly-idle .. mixed
+SOURCE_NODES = (0, 63)  # opposite corners of the 8x8 mesh
+PACKET_FLITS = 8
+WARMUP, MEASURE, REPEATS = 300, 1500, 3
+SMOKE_MEASURE, SMOKE_REPEATS = 300, 3
+
+WORKLOAD = {
+    "mesh": "8x8",
+    "scheme": "rair",
+    "routing": "xy",
+    "traffic": (
+        "two corner sources (nodes 0 and 63), uniform chip-wide "
+        f"destinations, {PACKET_FLITS}-flit packets, {PACKET_FLITS}-deep VCs"
+    ),
+    "warmup": WARMUP,
+    "measure": MEASURE,
+    "repeats": REPEATS,
+}
+
+
+def hotpath_cycles_per_sec(rate: float, measure: int = MEASURE, seed: int = 11) -> float:
+    """One timed measurement of the trickle workload (cycles/sec).
+
+    ``repro`` is imported inside the function so the caller controls which
+    tree serves it (interleaved A/B runs purge ``sys.modules`` and swap
+    ``sys.path`` between calls). Per-repetition best-of is the caller's
+    job — interleaving repetitions across trees is the whole point.
+    """
+    from repro import build_simulation
+    from repro.noc.config import NocConfig
+    from repro.traffic.patterns import UniformPattern
+    from repro.traffic.synthetic import FixedLength, SyntheticTrafficSource
+
+    cfg = NocConfig(vc_depth=PACKET_FLITS, max_packet_flits=PACKET_FLITS)
+    sim, net = build_simulation(cfg, scheme="rair", routing="xy")
+    sim.add_traffic(
+        SyntheticTrafficSource(
+            nodes=SOURCE_NODES,
+            rate=rate,
+            pattern=UniformPattern(net.topology),
+            app_id=0,
+            seed=seed,
+            lengths=FixedLength(PACKET_FLITS),
+        )
+    )
+    res = sim.run_measurement(warmup=WARMUP, measure=measure, drain_limit=10_000)
+    return res.metrics.cycles_per_sec

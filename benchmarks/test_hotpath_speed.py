@@ -1,0 +1,93 @@
+"""Hot-path (idle-heavy) speed benchmark: trickle traffic on an 8x8 mesh.
+
+Timing-only lane for the workload defined in ``benchmarks/hotpath.py``.
+``results/BENCH_hotpath.json`` itself is produced by the *interleaved*
+driver (``python -m benchmarks.interleave``) against a baseline worktree
+— a pytest run on one tree cannot measure a fair speedup, so this lane
+never rewrites that file. It asserts liveness (nonzero throughput, the
+fast-forward path actually engaging on the idle-heavy rates) and, when
+``REPRO_BENCH_CHECK_OUT`` is set, writes the measured numbers there for
+``benchmarks/compare.py`` to gate in CI.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+
+import pytest
+
+from benchmarks.conftest import bench_stamp
+from benchmarks.hotpath import (
+    MEASURE,
+    PACKET_FLITS,
+    RATES,
+    REPEATS,
+    SMOKE_MEASURE,
+    SMOKE_REPEATS,
+    SOURCE_NODES,
+    WORKLOAD,
+    hotpath_cycles_per_sec,
+)
+from repro import build_simulation
+from repro.noc.config import NocConfig
+from repro.traffic.patterns import UniformPattern
+from repro.traffic.synthetic import FixedLength, SyntheticTrafficSource
+
+_speeds: dict[float, float] = {}  # rate -> best cycles/sec
+
+
+@pytest.mark.parametrize("rate", RATES)
+def test_hotpath_speed(rate, effort):
+    smoke = effort.name == "SMOKE"
+    measure = SMOKE_MEASURE if smoke else MEASURE
+    best = 0.0
+    for _ in range(SMOKE_REPEATS if smoke else REPEATS):
+        best = max(best, hotpath_cycles_per_sec(rate, measure=measure))
+    assert best > 0.0
+    _speeds[rate] = best
+    print(f"\nhotpath @ rate {rate}: {best:,.0f} cycles/sec")
+
+
+def test_fast_forward_engages_on_trickle():
+    """The idle-heavy rate must actually exercise the fast path."""
+    cfg = NocConfig(vc_depth=PACKET_FLITS, max_packet_flits=PACKET_FLITS)
+    sim, net = build_simulation(cfg, scheme="rair", routing="xy")
+    sim.add_traffic(
+        SyntheticTrafficSource(
+            nodes=SOURCE_NODES,
+            rate=RATES[0],
+            pattern=UniformPattern(net.topology),
+            app_id=0,
+            seed=11,
+            lengths=FixedLength(PACKET_FLITS),
+        )
+    )
+    res = sim.run_measurement(warmup=300, measure=600, drain_limit=10_000)
+    assert res.metrics.ff_cycles_skipped > 0
+    assert res.metrics.pool_hits > 0
+
+
+def test_emit_check_json(effort):
+    """Write the measured speeds for the CI compare gate (env-gated)."""
+    out = os.environ.get("REPRO_BENCH_CHECK_OUT")
+    missing = [r for r in RATES if r not in _speeds]
+    if missing:
+        pytest.skip(f"speed sweep incomplete (missing rates {missing})")
+    if not out:
+        pytest.skip("REPRO_BENCH_CHECK_OUT not set; check-only run emits nothing")
+    report = {
+        "workload": dict(
+            WORKLOAD,
+            measure=SMOKE_MEASURE if effort.name == "SMOKE" else MEASURE,
+            repeats=SMOKE_REPEATS if effort.name == "SMOKE" else REPEATS,
+            effort=effort.name.lower(),
+        ),
+        "stamp": bench_stamp(),
+        "cycles_per_sec": {str(r): _speeds[r] for r in RATES},
+    }
+    path = pathlib.Path(out)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(report, indent=1) + "\n")
+    print(f"\nwrote {path}")

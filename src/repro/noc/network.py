@@ -32,6 +32,7 @@ import numpy as np
 
 from repro.core.regions import RegionMap
 from repro.noc.config import NocConfig
+from repro.noc.flit import PacketPool
 from repro.noc.router import Router
 from repro.noc.stats import NetworkStats
 from repro.noc.topology import LOCAL, OPPOSITE, MeshTopology
@@ -82,6 +83,10 @@ class Network:
             self.region_of = np.asarray(region_map.node_app, dtype=np.int64)
         else:
             self.region_of = np.zeros(self.topology.num_nodes, dtype=np.int64)
+        # Plain-int twin of ``region_of`` for per-flit consumers (DBAR's
+        # path walk, the obs ejection classifier) — indexing an ndarray
+        # yields numpy scalars whose comparisons cost several times an int's.
+        self.region_ids = [int(a) for a in self.region_of]
         self.routers = [
             Router(n, config, self, int(region_map.node_app[n]) if region_map else -1)
             for n in range(self.topology.num_nodes)
@@ -139,6 +144,12 @@ class Network:
         self.eject_callbacks: list = []
         self.flits_moved = 0
         self.packets_in_flight = 0
+        # Running total of flits buffered chip-wide (== sum(occupancy),
+        # maintained incrementally so the per-cycle watchdog check is O(1)).
+        self.buffered_total = 0
+        # Free list of ejected packet objects (see PacketPool): traffic
+        # sources draw from it through alloc_packet, ejection returns to it.
+        self.packet_pool = PacketPool()
         # Measurement-window accounting (set by Simulator.run_measurement);
         # lets the drain phase know when every window packet has retired
         # without rescanning the ejection log.
@@ -161,6 +172,14 @@ class Network:
             getattr(type(policy), "end_router_cycle", None)
             is not ArbitrationPolicy.end_router_cycle
         )
+        # RC-as-lookup: bound method of the routing algorithm's route table
+        # when one was built at attach (see RoutingAlgorithm.attach); the
+        # router's va_options falls back to the per-packet queries when None.
+        self._route_entry = (
+            routing.route_entry
+            if getattr(routing, "_route_table", None) is not None
+            else None
+        )
 
     def set_measure_window(self, window: tuple[int, int]) -> None:
         """Install the injection-cycle window whose packets must drain."""
@@ -169,8 +188,22 @@ class Network:
         self.window_ejected = 0
 
     # -- injection -------------------------------------------------------------------
+    def alloc_packet(self, *args, **kwargs):
+        """A packet built from the free-list pool (fields as ``Packet``).
+
+        The hot-path allocation entry point for traffic sources: reuses an
+        ejected packet object when one is available (re-initialised in
+        place with a fresh pid), otherwise constructs a new one.
+        """
+        return self.packet_pool.alloc(*args, **kwargs)
+
     def inject(self, pkt) -> None:
         """Queue a packet at its source node."""
+        if pkt.in_pool:
+            raise SimulationError(
+                f"{pkt!r} was already ejected and returned to the packet "
+                f"pool; stale references must not be re-injected"
+            )
         if not 0 <= pkt.src < self.topology.num_nodes:
             raise SimulationError(f"{pkt!r} has invalid source")
         if not 0 <= pkt.dst < self.topology.num_nodes:
@@ -264,6 +297,23 @@ class Network:
                 out=self.congestion,
             )
 
+    def skip_idle_cycles(self, start: int, stop: int) -> None:
+        """Apply the network-side effects of ticking idle cycles ``[start, stop)``.
+
+        Called by the simulator's fast-forward after it has proven the
+        range idle (no packets in flight, queued, or scheduled). The only
+        per-cycle network work that is not trivially a no-op on an idle
+        chip is the periodic congestion refresh; with every ``occupancy``
+        entry zero the refresh writes all-zero levels, and repeating it is
+        idempotent — so one refresh stands in for however many boundaries
+        the range contained, keeping DBAR's snapshot bit-identical to
+        naive ticking.
+        """
+        if self._congestion_live:
+            boundary = start + (-start) % self.congestion_period
+            if boundary < stop:
+                self.refresh_congestion(boundary)
+
     def deliver_events(self, cycle: int) -> None:
         """Apply all flit arrivals and credit returns scheduled for ``cycle``."""
         arrivals = self._arrivals.pop(cycle, None)
@@ -320,6 +370,7 @@ class Network:
             if invc.body_arrive(cycle):
                 router.arm_sa(invc)
         self.occupancy[node] += 1
+        self.buffered_total += 1
 
     # -- flit transmission (called by routers' SA stage) ---------------------------------
     def send_flit(self, router: Router, invc, cycle: int) -> None:
@@ -334,6 +385,7 @@ class Network:
         is_tail = invc.send_flit(cycle)
         node = router.node
         self.occupancy[node] -= 1
+        self.buffered_total -= 1
         self.flits_moved += 1
         self._link_flits[node][out_port] += 1
         try:
@@ -387,6 +439,10 @@ class Network:
                     self.window_ejected += 1
                 for cb in self.eject_callbacks:
                     cb(pkt, eject_cycle)
+                # Terminal point of a packet's life: stats copied its
+                # fields, callbacks ran — the object itself goes back to
+                # the pool for the next alloc_packet to re-initialise.
+                self.packet_pool.release(pkt)
         else:
             credits = router.out_credits[out_port]
             credits[out_vc] -= 1

@@ -95,6 +95,9 @@ class Router:
         "sa_pending",
         "_vnet_range",
         "_first_data_vc",
+        "_vnet_vcs_t",
+        "_adaptive_vcs",
+        "_escape_vcs",
         "ovc_n",
         "ovc_f",
         "native_high",
@@ -128,6 +131,18 @@ class Router:
         self.vc_depth = config.vc_depth
         self._vnet_range = [config.vnet_vcs(v) for v in range(config.num_vnets)]
         self._first_data_vc = [r.start + config.escape_vcs for r in self._vnet_range]
+        # Candidate VC sets per vnet as tuples: the VA option walk iterates
+        # them every head-flit residency, and a prebuilt tuple beats
+        # re-materialising range objects in the hot loop.
+        self._vnet_vcs_t = [tuple(r) for r in self._vnet_range]
+        self._adaptive_vcs = [
+            tuple(range(first, r.stop))
+            for r, first in zip(self._vnet_range, self._first_data_vc)
+        ]
+        self._escape_vcs = [
+            tuple(range(r.start, first))
+            for r, first in zip(self._vnet_range, self._first_data_vc)
+        ]
         self.out_owner = [[None] * self.total_vcs for _ in range(NUM_PORTS)]
         self.out_credits = [[config.vc_depth] * self.total_vcs for _ in range(NUM_PORTS)]
         self.va_ptr = [[0] * self.total_vcs for _ in range(NUM_PORTS)]
@@ -208,18 +223,25 @@ class Router:
         Ports appear in the routing algorithm's preference order and,
         within a port, adaptive VCs before the escape VCs.
         """
-        routing = self.network.routing
+        network = self.network
+        routing = network.routing
         node = self.node
         pkt = invc.pkt
         ports = invc.route_ports
         if ports is None:
-            ports = routing.admissible_ports(node, pkt)
-            invc.route_ports = ports
-            invc.escape_port = routing.escape_port(node, pkt)
+            # RC stage: a table lookup when the routing algorithm built a
+            # (node, dst) route table at attach, the dynamic queries
+            # otherwise (huge meshes, destination-impure algorithms).
+            entry = network._route_entry
+            if entry is not None:
+                ports, invc.escape_port = entry(node, pkt.dst)
+                invc.route_ports = ports
+            else:
+                ports = routing.admissible_ports(node, pkt)
+                invc.route_ports = ports
+                invc.escape_port = routing.escape_port(node, pkt)
         ranked = routing.rank_ports(node, pkt, ports) if len(ports) > 1 else ports
         vnet = pkt.vnet
-        vnet_vcs = self._vnet_range[vnet]
-        first_data_vc = self._first_data_vc[vnet]
         depth = self.vc_depth
         escape_port = invc.escape_port
         options: list[tuple[int, int]] = []
@@ -228,7 +250,7 @@ class Router:
             if p == LOCAL:
                 # Ejection: the escape restriction is moot, any VC
                 # of the vnet may be requested.
-                for vc in vnet_vcs:
+                for vc in self._vnet_vcs_t[vnet]:
                     if owner_p[vc] is None:
                         options.append((p, vc))
             else:
@@ -237,14 +259,14 @@ class Router:
                 # released *and* all credits back (no flit of the
                 # previous packet buffered or in flight).
                 credits_p = self.out_credits[p]
-                for vc in range(first_data_vc, vnet_vcs.stop):
+                for vc in self._adaptive_vcs[vnet]:
                     if owner_p[vc] is None and credits_p[vc] == depth:
                         options.append((p, vc))
                 # Escape VCs are only admissible on the
                 # dimension-order port (Duato deadlock freedom) and
                 # are tried after the adaptive VCs of their port.
                 if p == escape_port:
-                    for vc in range(vnet_vcs.start, first_data_vc):
+                    for vc in self._escape_vcs[vnet]:
                         if owner_p[vc] is None and credits_p[vc] == depth:
                             options.append((p, vc))
         return options

@@ -195,7 +195,7 @@ class MetricsCollector(KernelTrace):
         net.trace = self
         sim.obs = self
         self._net = net
-        self._region_of = net.region_of
+        self._region_of = net.region_ids
         net.eject_callbacks.append(self._on_eject)
         self._start_cycle = sim.cycle
         period = self.config.sample_period
@@ -275,7 +275,7 @@ class MetricsCollector(KernelTrace):
             return
         latency = eject_cycle - pkt.inject_cycle
         app = pkt.app_id
-        if app >= 0 and int(self._region_of[pkt.dst]) == app:
+        if app >= 0 and self._region_of[pkt.dst] == app:
             self._lat["native"].append(latency)
         else:
             self._lat["foreign"].append(latency)

@@ -14,11 +14,39 @@ requested; all other VCs are unrestricted among admissible ports. The
 escape network alone is XY on a mesh, which is deadlock-free, and a blocked
 packet can always eventually request the escape VC, so the full network is
 deadlock-free regardless of the adaptive selection used.
+
+Route tables
+------------
+
+For every algorithm in this package the *admissible-port set* and the
+*escape port* are pure functions of ``(node, dst)`` — only the selection
+(``rank_ports``) reads dynamic state. :meth:`RoutingAlgorithm.attach`
+therefore precomputes a flat ``num_nodes**2`` table of
+``(admissible_ports, escape_port)`` entries once per network, and the
+router's RC stage becomes a single list index (see ``Router.va_options``).
+An algorithm whose admissibility depends on more than the destination
+(e.g. per-vnet or source-dependent relations) must set
+``route_table_enabled = False`` to keep the dynamic per-packet path; the
+table build probes ``admissible_ports`` with a lightweight stand-in packet
+that only carries ``src``/``dst``/``vnet``/``app_id``, so exotic field
+reads fail loudly at attach time rather than silently mis-tabulating.
 """
 
 from __future__ import annotations
 
 __all__ = ["RoutingAlgorithm"]
+
+
+class _RouteProbe:
+    """Stand-in packet for table builds: destination (and src) only."""
+
+    __slots__ = ("src", "dst", "vnet", "app_id")
+
+    def __init__(self) -> None:
+        self.src = 0
+        self.dst = 0
+        self.vnet = 0
+        self.app_id = -1
 
 
 class RoutingAlgorithm:
@@ -30,13 +58,47 @@ class RoutingAlgorithm:
     #: congestion snapshot — the network skips the per-cycle snapshot
     #: refresh entirely when the installed algorithm leaves this False
     uses_congestion = False
+    #: set False in subclasses whose admissible ports / escape port depend
+    #: on more than (node, dst) — disables the attach-time route table
+    route_table_enabled = True
+    #: largest mesh (in nodes) for which the quadratic table is built
+    #: eagerly; bigger networks fall back to the per-packet path
+    TABLE_MAX_NODES = 4096
 
     def __init__(self) -> None:
         self.network = None
+        self._route_table: list[tuple[tuple[int, ...], int]] | None = None
+        self._num_nodes = 0
 
     def attach(self, network) -> None:
-        """Bind to a network (gives access to topology and congestion state)."""
+        """Bind to a network (gives access to topology and congestion state).
+
+        Also builds the per-(node, dst) route table when the algorithm is
+        destination-pure (see module docstring).
+        """
         self.network = network
+        n = network.topology.num_nodes
+        self._num_nodes = n
+        self._route_table = None
+        if self.route_table_enabled and n <= self.TABLE_MAX_NODES:
+            probe = _RouteProbe()
+            table = []
+            for node in range(n):
+                for dst in range(n):
+                    probe.dst = dst
+                    table.append(
+                        (self.admissible_ports(node, probe),
+                         self.escape_port(node, probe))
+                    )
+            self._route_table = table
+
+    def route_entry(self, node: int, dst: int) -> tuple[tuple[int, ...], int]:
+        """Precomputed ``(admissible_ports, escape_port)`` for a head flit.
+
+        Only valid when a table was built (``attach`` on a tableable
+        algorithm); the network caches whether it may call this.
+        """
+        return self._route_table[node * self._num_nodes + dst]
 
     # -- queries ---------------------------------------------------------
     def admissible_ports(self, node: int, pkt) -> tuple[int, ...]:

@@ -74,6 +74,10 @@ class OddEvenRouting(_TurnModelRouting):
     """Odd-Even turn model, minimal routing (Chiu's ROUTE algorithm)."""
 
     name = "odd_even"
+    # Chiu's relation exempts the source column from the even-column turn
+    # ban (``cur_x == src_x`` below), so admissibility depends on the
+    # packet's source — a (node, dst) table would mis-route it.
+    route_table_enabled = False
 
     def admissible_ports(self, node: int, pkt) -> tuple[int, ...]:
         topo = self.network.topology

@@ -1,0 +1,70 @@
+"""benchmarks/compare.py: speedup table + regression exit codes."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from benchmarks.compare import compare, main
+
+
+def _write(path, speeds):
+    path.write_text(json.dumps({"cycles_per_sec": speeds}))
+    return str(path)
+
+
+@pytest.fixture
+def files(tmp_path):
+    old = _write(tmp_path / "old.json", {"0.05": 100_000.0, "0.4": 50_000.0})
+
+    def new(speeds):
+        return _write(tmp_path / "new.json", speeds)
+
+    return old, new
+
+
+def test_no_regression_exits_zero(files, capsys):
+    old, new = files
+    rc = main([old, new({"0.05": 210_000.0, "0.4": 60_000.0})])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "2.10x" in out and "1.20x" in out and "OK" in out
+
+
+def test_regression_beyond_threshold_fails(files, capsys):
+    old, new = files
+    rc = main([old, new({"0.05": 70_000.0, "0.4": 50_000.0}), "--threshold", "0.2"])
+    assert rc == 1
+    err = capsys.readouterr().err
+    assert "0.05" in err and "FAIL" in err
+
+
+def test_slowdown_within_threshold_passes(files):
+    old, new = files
+    rc = main([old, new({"0.05": 95_000.0, "0.4": 46_000.0}), "--threshold", "0.1"])
+    assert rc == 0
+
+
+def test_disjoint_rates_is_an_error(files):
+    old, new = files
+    rc = main([old, new({"0.99": 1.0})])
+    assert rc == 2
+
+
+def test_missing_file_is_an_error(tmp_path, files):
+    old, _ = files
+    assert main([old, str(tmp_path / "nope.json")]) == 2
+
+
+def test_bad_threshold_is_an_error(files):
+    old, new = files
+    assert main([old, new({"0.05": 1.0}), "--threshold", "1.5"]) == 2
+
+
+def test_compare_rows_cover_shared_rates_only():
+    rows, regressions = compare(
+        {"0.05": 100.0, "0.2": 100.0}, {"0.2": 85.0, "0.4": 1.0}, threshold=0.1
+    )
+    assert [r[0] for r in rows] == ["0.2"]
+    assert regressions == ["0.2"]

@@ -1,0 +1,77 @@
+"""Attach-time route tables must equal the dynamic per-packet queries."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arbitration.base import ArbitrationPolicy
+from repro.noc.config import NocConfig
+from repro.noc.flit import Packet
+from repro.noc.network import Network
+from repro.routing import make_routing
+
+#: algorithms whose admissibility is a pure function of (node, dst)
+ALGORITHMS = ["xy", "duato", "dbar", "west_first"]
+
+
+def _network(routing_name: str) -> Network:
+    cfg = NocConfig(width=4, height=4)
+    return Network(cfg, make_routing(routing_name), ArbitrationPolicy())
+
+
+@pytest.mark.parametrize("name", ALGORITHMS)
+def test_table_matches_dynamic_queries_for_every_pair(name):
+    net = _network(name)
+    routing = net.routing
+    assert routing._route_table is not None
+    n = net.topology.num_nodes
+    for node in range(n):
+        for dst in range(n):
+            pkt = Packet(src=node, dst=dst, length=1, inject_cycle=0)
+            entry = routing.route_entry(node, dst)
+            assert entry == (
+                routing.admissible_ports(node, pkt),
+                routing.escape_port(node, pkt),
+            ), f"{name}: table mismatch at node={node} dst={dst}"
+
+
+@pytest.mark.parametrize("name", ALGORITHMS)
+def test_network_caches_table_entry(name):
+    net = _network(name)
+    assert net._route_entry is not None
+    assert net._route_entry(0, 5) == net.routing.route_entry(0, 5)
+
+
+def test_opt_out_keeps_dynamic_path():
+    routing = make_routing("xy")
+    routing.route_table_enabled = False
+    cfg = NocConfig(width=4, height=4)
+    net = Network(cfg, routing, ArbitrationPolicy())
+    assert routing._route_table is None
+    assert net._route_entry is None
+
+
+def test_odd_even_opts_out():
+    # Chiu's relation reads pkt.src (source-column turn exemption): a
+    # (node, dst) table cannot represent it and must not be built.
+    net = _network("odd_even")
+    assert net.routing._route_table is None
+    assert net._route_entry is None
+
+
+def test_oversized_mesh_skips_table():
+    routing = make_routing("xy")
+    routing.TABLE_MAX_NODES = 8  # 4x4 = 16 nodes > 8
+    cfg = NocConfig(width=4, height=4)
+    net = Network(cfg, routing, ArbitrationPolicy())
+    assert routing._route_table is None
+    assert net._route_entry is None
+
+
+def test_reattach_rebuilds_table():
+    routing = make_routing("xy")
+    _network_a = Network(NocConfig(width=4, height=4), routing, ArbitrationPolicy())
+    table_a = routing._route_table
+    Network(NocConfig(width=8, height=8), routing, ArbitrationPolicy())
+    assert routing._route_table is not table_a
+    assert len(routing._route_table) == 64 * 64
