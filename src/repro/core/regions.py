@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from collections.abc import Sequence
 
-from repro.noc.topology import MeshTopology
+from repro.noc.topology import Topology
 from repro.util.errors import ConfigError
 
 __all__ = ["RegionMap"]
@@ -28,7 +28,7 @@ UNASSIGNED = -1
 
 
 class RegionMap:
-    """Immutable node -> application assignment over a mesh.
+    """Immutable node -> application assignment over a topology.
 
     Application ids double as region ids: the paper assigns one region per
     application, and RAIR's per-router state is independent of the region
@@ -36,7 +36,7 @@ class RegionMap:
     many regions a mesh may carry.
     """
 
-    def __init__(self, topology: MeshTopology, node_app: Sequence[int]):
+    def __init__(self, topology: Topology, node_app: Sequence[int]):
         if len(node_app) != topology.num_nodes:
             raise ConfigError(
                 f"node_app has {len(node_app)} entries for {topology.num_nodes} nodes"
@@ -53,12 +53,12 @@ class RegionMap:
 
     # -- constructors ----------------------------------------------------------
     @classmethod
-    def single(cls, topology: MeshTopology, app: int = 0) -> "RegionMap":
+    def single(cls, topology: Topology, app: int = 0) -> "RegionMap":
         """One region covering the whole chip (a conventional NoC)."""
         return cls(topology, [app] * topology.num_nodes)
 
     @classmethod
-    def halves(cls, topology: MeshTopology, vertical: bool = True) -> "RegionMap":
+    def halves(cls, topology: Topology, vertical: bool = True) -> "RegionMap":
         """Two regions: left/right halves (Fig. 8) or top/bottom."""
         assign = []
         for node in range(topology.num_nodes):
@@ -70,7 +70,7 @@ class RegionMap:
         return cls(topology, assign)
 
     @classmethod
-    def quadrants(cls, topology: MeshTopology) -> "RegionMap":
+    def quadrants(cls, topology: Topology) -> "RegionMap":
         """Four regions (Figs. 11 and 16): app i in quadrant i.
 
         Numbering: 0 = north-west, 1 = north-east, 2 = south-west,
@@ -79,29 +79,22 @@ class RegionMap:
         return cls.grid(topology, 2, 2)
 
     @classmethod
-    def grid(cls, topology: MeshTopology, cols: int, rows: int) -> "RegionMap":
-        """``cols`` x ``rows`` near-equal rectangular regions, row-major ids.
+    def grid(cls, topology: Topology, cols: int, rows: int) -> "RegionMap":
+        """``cols`` x ``rows`` near-equal regions, row-major ids.
 
-        Uneven divisions are balanced with integer rounding (an 8-wide mesh
-        split into 3 columns gets widths 3/3/2), which is how we realize the
-        paper's six-region (3 x 2) configuration on an 8x8 mesh.
+        Delegates the node -> region assignment to the topology
+        (:meth:`~repro.noc.topology.Topology.region_grid`): rectangular
+        blocks on the grids, contiguous arcs on a ring. Uneven divisions
+        are balanced with integer rounding (an 8-wide mesh split into 3
+        columns gets widths 3/3/2), which is how we realize the paper's
+        six-region (3 x 2) configuration on an 8x8 mesh.
         """
-        if cols < 1 or rows < 1 or cols > topology.width or rows > topology.height:
-            raise ConfigError(
-                f"cannot split {topology.width}x{topology.height} mesh into {cols}x{rows} regions"
-            )
-        col_of = _band_index(topology.width, cols)
-        row_of = _band_index(topology.height, rows)
-        assign = []
-        for node in range(topology.num_nodes):
-            x, y = topology.coords(node)
-            assign.append(row_of[y] * cols + col_of[x])
-        return cls(topology, assign)
+        return cls(topology, topology.region_grid(cols, rows))
 
     @classmethod
     def from_rects(
         cls,
-        topology: MeshTopology,
+        topology: Topology,
         rects: Sequence[tuple[int, int, int, int]],
         allow_unassigned: bool = False,
     ) -> "RegionMap":
@@ -155,22 +148,11 @@ class RegionMap:
         return (
             isinstance(other, RegionMap)
             and other.node_app == self.node_app
-            and other.topology.width == self.topology.width
-            and other.topology.height == self.topology.height
+            and other.topology.signature() == self.topology.signature()
         )
 
     def __hash__(self) -> int:
-        return hash((self.topology.width, self.topology.height, self.node_app))
+        return hash((self.topology.signature(), self.node_app))
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
-        return f"RegionMap({self.topology.width}x{self.topology.height}, {self.num_apps} apps)"
-
-
-def _band_index(extent: int, bands: int) -> list[int]:
-    """Map each coordinate in [0, extent) to one of ``bands`` near-equal bands."""
-    # Boundaries by rounding i*extent/bands, giving band sizes that differ
-    # by at most one.
-    index = []
-    for coord in range(extent):
-        index.append(min(bands - 1, coord * bands // extent))
-    return index
+        return f"RegionMap({self.topology!r}, {self.num_apps} apps)"

@@ -12,6 +12,7 @@ from __future__ import annotations
 from repro.core.dpa import DpaConfig
 from repro.experiments.parallel import Cell, FaultPolicy, run_cells_detailed
 from repro.experiments.report import (
+    config_for_topology,
     effort_argparser,
     failed_label,
     finish,
@@ -35,9 +36,10 @@ def run(
     cache=None,
     policy: FaultPolicy | None = None,
     obs=None,
+    topology: str = "mesh",
 ) -> FigureResult:
     """One row per hysteresis delta (failed cells render as FAILED rows)."""
-    scenario = six_app()
+    scenario = six_app(config=config_for_topology(topology))
     cells = [Cell.for_scenario(SCHEMES["RO_RR"], scenario, effort, seed)] + [
         Cell.for_scenario(
             SCHEMES["RA_RAIR"],
@@ -95,6 +97,7 @@ def main(argv=None) -> int:
         cache=args.cache,
         policy=policy_from_args(args),
         obs=obs_from_args(args),
+        topology=args.topology,
     )
     return finish(result)
 

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from repro.experiments.parallel import Cell, FaultPolicy, run_cells_detailed
 from repro.experiments.report import (
+    config_for_topology,
     effort_argparser,
     failed_label,
     finish,
@@ -36,12 +37,15 @@ def run(
     cache=None,
     policy: FaultPolicy | None = None,
     obs=None,
+    topology: str = "mesh",
 ) -> FigureResult:
     """One row per routing algorithm; reductions are RAIR vs RO_RR.
 
-    Failed cells render as ``FAILED(...)`` rows instead of aborting.
+    Failed cells render as ``FAILED(...)`` rows instead of aborting;
+    in particular the turn models (west_first, odd_even) are mesh-only
+    and render as ``FAILED(ConfigError)`` on torus/ring fabrics.
     """
-    scenario = two_app_msp(1.0)
+    scenario = two_app_msp(1.0, config=config_for_topology(topology))
     cells = [
         Cell.for_scenario(Scheme(f"{prefix}_{routing}", policy_name, routing),
                           scenario, effort, seed)
@@ -108,6 +112,7 @@ def main(argv=None) -> int:
         cache=args.cache,
         policy=policy_from_args(args),
         obs=obs_from_args(args),
+        topology=args.topology,
     )
     return finish(result)
 

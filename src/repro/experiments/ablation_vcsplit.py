@@ -14,6 +14,7 @@ from dataclasses import replace
 
 from repro.experiments.parallel import Cell, FaultPolicy, run_cells_detailed
 from repro.experiments.report import (
+    config_for_topology,
     effort_argparser,
     failed_label,
     finish,
@@ -46,14 +47,17 @@ def run(
     cache=None,
     policy: FaultPolicy | None = None,
     obs=None,
+    topology: str = "mesh",
 ) -> FigureResult:
     """One row per VC split; reductions are vs RO_RR on the same config.
 
     Failed cells render as ``FAILED(...)`` rows instead of aborting.
+    ``topology`` selects the fabric (mesh/torus/ring).
     """
+    base_cfg = config_for_topology(topology) or NocConfig()
     cells = []
     for label, classes in splits:
-        cfg = replace(NocConfig(), vc_classes=classes)
+        cfg = replace(base_cfg, vc_classes=classes)
         scenario = six_app(config=cfg)
         cells.append(Cell.for_scenario(SCHEMES["RO_RR"], scenario, effort, seed))
         cells.append(Cell.for_scenario(SCHEMES["RA_RAIR"], scenario, effort, seed))
@@ -107,6 +111,7 @@ def main(argv=None) -> int:
         cache=args.cache,
         policy=policy_from_args(args),
         obs=obs_from_args(args),
+        topology=args.topology,
     )
     return finish(result)
 

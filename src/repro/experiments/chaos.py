@@ -46,7 +46,7 @@ import time
 
 from repro.experiments.scenarios import Scenario, ScenarioSpec
 from repro.noc.config import NocConfig
-from repro.noc.topology import MeshTopology
+from repro.noc.topology import make_topology
 from repro.traffic.patterns import UniformPattern
 from repro.traffic.synthetic import FixedLength, SyntheticTrafficSource
 from repro.util.errors import ConfigError, SimulationError
@@ -110,7 +110,7 @@ def chaos_scenario(
         raise ConfigError(f"unknown chaos mode {mode!r}; known: {CHAOS_MODES}")
     _inject_fault(mode, marker)
     config = NocConfig(width=4, height=4)
-    topo = MeshTopology(config.width, config.height)
+    topo = make_topology(config)
 
     def factory(seed: int) -> list:
         return [

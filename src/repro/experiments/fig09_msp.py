@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from repro.experiments.parallel import Cell, FaultPolicy, run_cells_detailed
 from repro.experiments.report import (
+    config_for_topology,
     effort_argparser,
     failed_label,
     finish,
@@ -41,14 +42,17 @@ def run(
     cache=None,
     policy: FaultPolicy | None = None,
     obs=None,
+    topology: str = "mesh",
 ) -> FigureResult:
     """Run the Fig. 9 sweep; one row per (p, scheme).
 
     A cell that fails after retries renders as a ``FAILED(...)`` row
     instead of aborting the sweep (``metrics["failures"]`` counts them).
+    ``topology`` selects the fabric (mesh/torus/ring).
     """
+    config = config_for_topology(topology)
     cells = [
-        Cell.for_scenario(SCHEMES[key], two_app_msp(p), effort, seed)
+        Cell.for_scenario(SCHEMES[key], two_app_msp(p, config=config), effort, seed)
         for p in p_values
         for key in schemes
     ]
@@ -107,6 +111,7 @@ def main(argv=None) -> int:
         cache=args.cache,
         policy=policy_from_args(args),
         obs=obs_from_args(args),
+        topology=args.topology,
     )
     return finish(result)
 

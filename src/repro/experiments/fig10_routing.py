@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from repro.experiments.parallel import Cell, FaultPolicy, run_cells_detailed
 from repro.experiments.report import (
+    config_for_topology,
     effort_argparser,
     failed_label,
     finish,
@@ -42,13 +43,16 @@ def run(
     cache=None,
     policy: FaultPolicy | None = None,
     obs=None,
+    topology: str = "mesh",
 ) -> FigureResult:
     """Run the Fig. 10 comparison; one row per (p, scheme).
 
     Failed cells render as ``FAILED(...)`` rows instead of aborting.
+    ``topology`` selects the fabric (mesh/torus/ring).
     """
+    config = config_for_topology(topology)
     cells = [
-        Cell.for_scenario(SCHEMES[key], two_app_msp(p), effort, seed)
+        Cell.for_scenario(SCHEMES[key], two_app_msp(p, config=config), effort, seed)
         for p in p_values
         for key in schemes
     ]
@@ -106,6 +110,7 @@ def main(argv=None) -> int:
         cache=args.cache,
         policy=policy_from_args(args),
         obs=obs_from_args(args),
+        topology=args.topology,
     )
     return finish(result)
 

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from repro.experiments.parallel import Cell, FaultPolicy, run_cells_detailed
 from repro.experiments.report import (
+    config_for_topology,
     effort_argparser,
     failed_label,
     finish,
@@ -41,14 +42,19 @@ def run(
     cache=None,
     policy: FaultPolicy | None = None,
     obs=None,
+    topology: str = "mesh",
 ) -> FigureResult:
     """Run both Fig. 12 scenarios; rows carry per-app reduction vs RO_RR.
 
     A failed cell renders as ``FAILED(...)``; a failed *baseline* marks
     every dependent reduction row ``FAILED(baseline ...)``.
+    ``topology`` selects the fabric (mesh/torus/ring).
     """
+    config = config_for_topology(topology)
     cells = [
-        Cell.for_scenario(SCHEMES[key], four_app_dpa(variant), effort, seed)
+        Cell.for_scenario(
+            SCHEMES[key], four_app_dpa(variant, config=config), effort, seed
+        )
         for variant in variants
         for key in ("RO_RR",) + tuple(schemes)
     ]
@@ -120,6 +126,7 @@ def main(argv=None) -> int:
         cache=args.cache,
         policy=policy_from_args(args),
         obs=obs_from_args(args),
+        topology=args.topology,
     )
     return finish(result)
 

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from repro.experiments.parallel import Cell, FaultPolicy, run_cells_detailed
 from repro.experiments.report import (
+    config_for_topology,
     effort_argparser,
     failed_label,
     finish,
@@ -39,12 +40,16 @@ def run(
     cache=None,
     policy: FaultPolicy | None = None,
     obs=None,
+    topology: str = "mesh",
 ) -> FigureResult:
     """Run the six-app comparison; rows carry per-app APL reduction vs RO_RR.
 
     Failed cells render as ``FAILED(...)`` rows instead of aborting.
+    ``topology`` selects the fabric (mesh/torus/ring).
     """
-    scenario = six_app(global_pattern=global_pattern)
+    scenario = six_app(
+        global_pattern=global_pattern, config=config_for_topology(topology)
+    )
     cells = [
         Cell.for_scenario(SCHEMES[key], scenario, effort, seed)
         for key in ("RO_RR",) + tuple(schemes)
@@ -106,6 +111,7 @@ def main(argv=None) -> int:
         cache=args.cache,
         policy=policy_from_args(args),
         obs=obs_from_args(args),
+        topology=args.topology,
     )
     return finish(result)
 

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from repro.experiments.parallel import Cell, FaultPolicy, run_cells_detailed
 from repro.experiments.report import (
+    config_for_topology,
     effort_argparser,
     failed_label,
     finish,
@@ -39,13 +40,22 @@ def run(
     cache=None,
     policy: FaultPolicy | None = None,
     obs=None,
+    topology: str = "mesh",
 ) -> FigureResult:
     """One row per (pattern, scheme) with the average APL reduction vs RO_RR.
 
     Failed cells render as ``FAILED(...)`` rows instead of aborting.
+    ``topology`` selects the fabric (mesh/torus/ring); patterns a fabric
+    cannot express (e.g. transpose on a ring) render as FAILED rows.
     """
+    config = config_for_topology(topology)
     cells = [
-        Cell.for_scenario(SCHEMES[key], six_app(global_pattern=pattern), effort, seed)
+        Cell.for_scenario(
+            SCHEMES[key],
+            six_app(global_pattern=pattern, config=config),
+            effort,
+            seed,
+        )
         for pattern in patterns
         for key in ("RO_RR",) + tuple(schemes)
     ]
@@ -107,6 +117,7 @@ def main(argv=None) -> int:
         cache=args.cache,
         policy=policy_from_args(args),
         obs=obs_from_args(args),
+        topology=args.topology,
     )
     return finish(result)
 

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from repro.experiments.parallel import Cell, FaultPolicy, run_cells_detailed
 from repro.experiments.report import (
+    config_for_topology,
     effort_argparser,
     failed_label,
     finish,
@@ -39,6 +40,7 @@ def run(
     cache=None,
     policy: FaultPolicy | None = None,
     obs=None,
+    topology: str = "mesh",
 ) -> FigureResult:
     """One row per scheme with per-app and average slowdowns.
 
@@ -46,10 +48,14 @@ def run(
     paper's 0.4 flits/cycle/node (same fraction of saturation; see
     ``scenarios.ADVERSARIAL_PRESSURE``). A slowdown needs both the clean
     and the attacked run; if either cell failed, the scheme's row renders
-    as ``FAILED(...)`` and the other rows still print.
+    as ``FAILED(...)`` and the other rows still print. ``topology``
+    selects the fabric (mesh/torus/ring).
     """
-    clean = parsec_quadrants(adversarial=False)
-    attacked = parsec_quadrants(adversarial=True, adversarial_rate=adversarial_rate)
+    config = config_for_topology(topology, num_vnets=2)
+    clean = parsec_quadrants(adversarial=False, config=config)
+    attacked = parsec_quadrants(
+        adversarial=True, adversarial_rate=adversarial_rate, config=config
+    )
     adversarial_rate = attacked.meta["adversarial_rate"]
     cells = [
         Cell.for_scenario(SCHEMES[key], scenario, effort, seed)
@@ -122,6 +128,7 @@ def main(argv=None) -> int:
         cache=args.cache,
         policy=policy_from_args(args),
         obs=obs_from_args(args),
+        topology=args.topology,
     )
     return finish(result)
 

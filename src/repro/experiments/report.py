@@ -15,6 +15,7 @@ import argparse
 
 from repro.experiments.parallel import CellResult, FaultPolicy
 from repro.experiments.runner import Effort
+from repro.noc.topology import TOPOLOGY_KINDS
 
 __all__ = [
     "EXIT_CELL_FAILURE",
@@ -23,6 +24,7 @@ __all__ = [
     "parse_effort",
     "policy_from_args",
     "obs_from_args",
+    "config_for_topology",
     "failed_label",
     "finish",
 ]
@@ -102,6 +104,13 @@ def effort_argparser(description: str) -> argparse.ArgumentParser:
         "DIR; inspect with 'python -m repro.obs.report'",
     )
     parser.add_argument(
+        "--topology",
+        default="mesh",
+        choices=TOPOLOGY_KINDS,
+        help="fabric to run on: mesh (default, the paper's 8x8), torus, or "
+        "ring; wrap fabrics get dateline escape VCs sized automatically",
+    )
+    parser.add_argument(
         "--obs-sample-period",
         type=int,
         default=64,
@@ -134,6 +143,22 @@ def obs_from_args(args: argparse.Namespace):
     from repro.obs.collector import ObsConfig
 
     return ObsConfig(dir=obs_dir, sample_period=getattr(args, "obs_sample_period", 64))
+
+
+def config_for_topology(topology: str | None, **kwargs):
+    """The :class:`~repro.noc.config.NocConfig` a ``--topology`` choice needs.
+
+    Returns ``None`` for the default mesh so scenario builders keep using
+    their stock configs — mesh runs stay bit-identical to the pre-topology
+    CLIs (same cache keys, same goldens). Non-mesh fabrics get a config
+    from :meth:`NocConfig.for_topology` with ``kwargs`` forwarded (e.g.
+    ``num_vnets=2`` for the PARSEC scenario).
+    """
+    if topology in (None, "mesh"):
+        return None
+    from repro.noc.config import NocConfig
+
+    return NocConfig.for_topology(topology, **kwargs)
 
 
 def failed_label(result: CellResult) -> str:

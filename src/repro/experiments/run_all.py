@@ -38,6 +38,7 @@ from repro.experiments import (
 )
 from repro.experiments.parallel import FaultPolicy
 from repro.experiments.report import EXIT_CELL_FAILURE, obs_from_args, parse_effort
+from repro.noc.topology import TOPOLOGY_KINDS
 
 __all__ = ["main", "EXPERIMENTS"]
 
@@ -95,6 +96,11 @@ def main(argv=None) -> int:
         "--obs-sample-period", type=int, default=64, metavar="CYCLES",
         help="cycles between observability samples (default 64)",
     )
+    parser.add_argument(
+        "--topology", default="mesh", choices=TOPOLOGY_KINDS,
+        help="fabric for every simulated experiment: mesh (default), torus, "
+        "or ring (table1 is config-independent and unaffected)",
+    )
     args = parser.parse_args(argv)
     effort = parse_effort(args.effort)
     obs = obs_from_args(args)
@@ -123,6 +129,7 @@ def main(argv=None) -> int:
                 result = module.run(
                     effort=effort, seed=args.seed, jobs=args.jobs,
                     cache=args.cache, policy=policy, obs=obs,
+                    topology=args.topology,
                 )
         except Exception as exc:
             # A cell failure never raises (it renders as a FAILED row);

@@ -11,7 +11,6 @@ warmup/measure/drain protocol, and returns per-application APLs.
 from __future__ import annotations
 
 import enum
-from collections.abc import Callable
 from dataclasses import dataclass, field
 
 from repro import build_simulation

@@ -28,7 +28,7 @@ from dataclasses import dataclass, field
 from repro.core.regions import RegionMap
 from repro.experiments.saturation_table import saturation_load
 from repro.noc.config import NocConfig
-from repro.noc.topology import MeshTopology
+from repro.noc.topology import make_topology
 from repro.traffic.adversarial import AdversarialTrafficSource
 from repro.traffic.parsec import PARSEC_PROFILES, ParsecWorkload
 from repro.traffic.patterns import UniformPattern, make_pattern
@@ -112,9 +112,11 @@ def two_app_msp(p_inter: float, config: NocConfig | None = None) -> Scenario:
     """Fig. 8 layout: App0 low-load with fraction ``p_inter`` inter-region,
     App1 high-load fully intra-region on the other half."""
     config = config or NocConfig()
-    topo = MeshTopology(config.width, config.height)
+    topo = make_topology(config)
     rm = RegionMap.halves(topo)
-    sat = saturation_load("ur_half_4x8")
+    # saturation_scale derates the mesh-calibrated knee on lower-bisection
+    # fabrics (1.0 on the mesh, so mesh rates are bit-identical).
+    sat = saturation_load("ur_half_4x8") * topo.saturation_scale
     low = 0.10 * sat
     # 0.80 of the *solo-calibrated* knee: once App0's inter-region stream
     # crosses the region the in-context saturation is lower than the solo
@@ -164,9 +166,9 @@ def four_app_dpa(variant: str, config: NocConfig | None = None) -> Scenario:
     if variant not in ("a", "b"):
         raise ValueError(f"variant must be 'a' or 'b', got {variant!r}")
     config = config or NocConfig()
-    topo = MeshTopology(config.width, config.height)
+    topo = make_topology(config)
     rm = RegionMap.quadrants(topo)
-    sat = saturation_load("ur_quad_4x4")
+    sat = saturation_load("ur_quad_4x4") * topo.saturation_scale
     low = 0.15 * sat
     high = 0.90 * sat
 
@@ -246,7 +248,7 @@ def six_app(
     serve as memory controllers.
     """
     config = config or NocConfig()
-    topo = MeshTopology(config.width, config.height)
+    topo = make_topology(config)
     rm = RegionMap.grid(topo, 2, 3)
     loads = dict(SIX_APP_LOADS if loads is None else loads)
     # Region sizes on the 8x8 mesh: rows of heights 3/3/2 x columns of
@@ -255,15 +257,10 @@ def six_app(
         app: saturation_load(
             "mix_grid6_2x4" if len(rm.nodes_of(app)) <= 8 else "mix_grid6_3x4"
         )
+        * topo.saturation_scale
         for app in range(6)
     }
-    cx, cy = topo.width // 2, topo.height // 2
-    center_hotspots = [
-        topo.node_at(cx - 1, cy - 1),
-        topo.node_at(cx, cy - 1),
-        topo.node_at(cx - 1, cy),
-        topo.node_at(cx, cy),
-    ]
+    center_hotspots = list(topo.center_nodes())
 
     def factory(seed: int) -> list:
         rngs = spawn_rngs(seed, 6)
@@ -329,12 +326,16 @@ def parsec_quadrants(
     ``adversarial_rate`` defaults to ``ADVERSARIAL_PRESSURE`` times the
     calibrated chip-wide uniform-random saturation load.
     """
-    if adversarial_rate is None:
-        adversarial_rate = ADVERSARIAL_PRESSURE * saturation_load("ur_chip_8x8")
     config = config or NocConfig(num_vnets=2)
     if config.num_vnets < 2:
         raise ValueError("PARSEC scenario needs >= 2 virtual networks")
-    topo = MeshTopology(config.width, config.height)
+    topo = make_topology(config)
+    if adversarial_rate is None:
+        adversarial_rate = (
+            ADVERSARIAL_PRESSURE
+            * saturation_load("ur_chip_8x8")
+            * topo.saturation_scale
+        )
     rm = RegionMap.quadrants(topo)
     profiles = [PARSEC_PROFILES[name] for name in PARSEC_APP_ORDER]
 

@@ -1,7 +1,8 @@
 """Cycle-accurate network-on-chip simulator substrate.
 
 This subpackage is the from-scratch replacement for the GARNET simulator
-used in the paper. It models a 2-D mesh of canonical virtual-channel (VC)
+used in the paper. It models a fabric (2-D mesh, torus, or bidirectional
+ring — see :mod:`repro.noc.topology`) of canonical virtual-channel (VC)
 wormhole routers with:
 
 * credit-based flow control between routers,
@@ -18,6 +19,8 @@ The entry points most users need are :class:`repro.noc.config.NocConfig`,
 :class:`repro.noc.network.Network` and :class:`repro.noc.sim.Simulator`.
 """
 
+import warnings
+
 from repro.noc.config import NocConfig, VcClass
 from repro.noc.flit import MessageClass, Packet
 from repro.noc.network import Network
@@ -29,11 +32,16 @@ from repro.noc.topology import (
     EAST,
     LOCAL,
     NORTH,
-    NUM_PORTS,
     PORT_NAMES,
     SOUTH,
+    TOPOLOGY_KINDS,
     WEST,
     MeshTopology,
+    RingTopology,
+    Topology,
+    TorusTopology,
+    build_topology,
+    make_topology,
 )
 
 __all__ = [
@@ -49,7 +57,13 @@ __all__ = [
     "RecordingTrace",
     "zero_load_latency",
     "mean_ur_hops",
+    "Topology",
     "MeshTopology",
+    "TorusTopology",
+    "RingTopology",
+    "TOPOLOGY_KINDS",
+    "make_topology",
+    "build_topology",
     "LOCAL",
     "NORTH",
     "EAST",
@@ -58,3 +72,24 @@ __all__ = [
     "NUM_PORTS",
     "PORT_NAMES",
 ]
+
+# Mesh-specific constants kept as deprecated aliases: port arity and the
+# opposite-port map are per-topology now (Topology.num_ports /
+# Topology.opposite — e.g. network.topology.opposite), not global truths.
+_DEPRECATED_TOPOLOGY_CONSTS = ("NUM_PORTS", "OPPOSITE")
+
+
+def __getattr__(name: str):
+    if name in _DEPRECATED_TOPOLOGY_CONSTS:
+        warnings.warn(
+            f"repro.noc.{name} is deprecated: port arity and opposite-port "
+            f"maps are topology-specific; use the Topology API "
+            f"(e.g. network.topology.num_ports / network.topology.opposite, "
+            f"or import mesh constants from repro.noc.topology)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        from repro.noc import topology as _topology
+
+        return getattr(_topology, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

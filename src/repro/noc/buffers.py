@@ -66,6 +66,7 @@ class InputVC:
         "out_vc",
         "route_ports",
         "escape_port",
+        "escape_class",
         "va_ready",
         "sa_ready",
         "is_native",
@@ -86,9 +87,12 @@ class InputVC:
         self.out_port = -1
         self.out_vc = -1
         self.route_ports: tuple[int, ...] | None = None
-        # Cached alongside route_ports (both are pure functions of the
-        # resident packet); only meaningful while route_ports is not None.
+        # Cached alongside route_ports (all three are pure functions of
+        # the resident packet); only meaningful while route_ports is not
+        # None. escape_class is the dateline VC class of the escape hop
+        # (always 0 on fabrics with a single escape class).
         self.escape_port = -1
+        self.escape_class = 0
         self.va_ready = 0
         self.sa_ready = 0
         # Native/foreign classification of the resident packet w.r.t. this

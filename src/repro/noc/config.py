@@ -17,6 +17,7 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass, field
 
+from repro.noc.topology import TOPOLOGY_KINDS, num_escape_classes_for
 from repro.util.validate import check_positive, require
 
 __all__ = ["VcClass", "NocConfig", "DEFAULT_VC_CLASSES"]
@@ -55,7 +56,14 @@ class NocConfig:
     Parameters
     ----------
     width, height:
-        Mesh dimensions. The paper uses 8x8.
+        Fabric dimensions. The paper uses an 8x8 mesh; a ring folds the
+        extents into one ``width * height``-node loop.
+    topology:
+        Fabric kind — one of :data:`~repro.noc.topology.TOPOLOGY_KINDS`
+        (``"mesh"``, ``"torus"``, ``"ring"``). Wrap fabrics need two
+        dateline escape classes, so build their configs through
+        :meth:`for_topology` (which sizes ``escape_vcs`` accordingly)
+        unless you set ``escape_vcs`` yourself.
     num_vnets:
         Number of virtual networks (protocol classes). Synthetic traffic
         uses 1; the PARSEC-like request/reply traffic uses 2 to avoid
@@ -80,6 +88,7 @@ class NocConfig:
 
     width: int = 8
     height: int = 8
+    topology: str = "mesh"
     num_vnets: int = 1
     vc_classes: tuple[VcClass, ...] = DEFAULT_VC_CLASSES
     escape_vcs: int = 1
@@ -91,7 +100,17 @@ class NocConfig:
     extra: dict = field(default_factory=dict, compare=False)
 
     def __post_init__(self) -> None:
-        require(self.width >= 2 and self.height >= 2, "mesh must be at least 2x2")
+        require(
+            self.topology in TOPOLOGY_KINDS,
+            f"unknown topology {self.topology!r}; choose one of {TOPOLOGY_KINDS}",
+        )
+        if self.topology == "ring":
+            require(self.width * self.height >= 4, "ring needs at least 4 nodes")
+        else:
+            require(
+                self.width >= 2 and self.height >= 2,
+                f"{self.topology} must be at least 2x2",
+            )
         check_positive(self.num_vnets, "num_vnets")
         require(len(self.vc_classes) >= 1, "need at least one data VC per vnet")
         require(
@@ -103,6 +122,13 @@ class NocConfig:
             "vc_classes lists data VCs only; set escape_vcs for escape VCs",
         )
         require(self.escape_vcs >= 1, "need at least one escape VC per vnet")
+        ncls = num_escape_classes_for(self.topology)
+        require(
+            self.escape_vcs >= ncls,
+            f"{self.topology} escape routing uses {ncls} dateline VC classes "
+            f"per vnet, got escape_vcs={self.escape_vcs} "
+            f"(build configs via NocConfig.for_topology)",
+        )
         check_positive(self.vc_depth, "vc_depth")
         check_positive(self.link_latency, "link_latency")
         check_positive(self.credit_latency, "credit_latency")
@@ -112,6 +138,18 @@ class NocConfig:
             f"atomic VCs require vc_depth ({self.vc_depth}) >= "
             f"max_packet_flits ({self.max_packet_flits})",
         )
+
+    # -- constructors --------------------------------------------------------
+    @classmethod
+    def for_topology(cls, topology: str = "mesh", **kwargs) -> "NocConfig":
+        """A config for ``topology`` with ``escape_vcs`` sized for its datelines.
+
+        Wrap fabrics (torus, ring) need one escape VC per dateline class;
+        this sets ``escape_vcs`` to that minimum unless the caller passes
+        an explicit value. All other keyword arguments are forwarded.
+        """
+        kwargs.setdefault("escape_vcs", num_escape_classes_for(topology))
+        return cls(topology=topology, **kwargs)
 
     # -- derived quantities --------------------------------------------------
     @property
@@ -157,8 +195,12 @@ class NocConfig:
         """Human-readable one-line summary (used by experiment reports)."""
         n_glob = sum(1 for c in self.vc_classes if c is VcClass.GLOBAL)
         n_reg = len(self.vc_classes) - n_glob
+        if self.topology == "ring":
+            fabric = f"{self.num_nodes}-node ring"
+        else:
+            fabric = f"{self.width}x{self.height} {self.topology}"
         return (
-            f"{self.width}x{self.height} mesh, {self.num_vnets} vnet(s) x "
+            f"{fabric}, {self.num_vnets} vnet(s) x "
             f"{self.vcs_per_vnet} VCs ({self.escape_vcs} escape / {n_glob} "
             f"global / {n_reg} regional), {self.vc_depth}-flit VCs, "
             f"{self.link_bits}-bit links"

@@ -35,14 +35,14 @@ from repro.noc.config import NocConfig
 from repro.noc.flit import PacketPool
 from repro.noc.router import Router
 from repro.noc.stats import NetworkStats
-from repro.noc.topology import LOCAL, OPPOSITE, MeshTopology
+from repro.noc.topology import LOCAL, make_topology
 from repro.util.errors import SimulationError
 
 __all__ = ["Network"]
 
 
 class Network:
-    """A mesh NoC with pluggable routing and arbitration.
+    """A NoC (mesh, torus, or ring) with pluggable routing and arbitration.
 
     Parameters
     ----------
@@ -72,13 +72,10 @@ class Network:
     ):
         self.config = config
         self.trace = trace
-        self.topology = MeshTopology(config.width, config.height)
+        self.topology = make_topology(config)
         self.region_map = region_map
         if region_map is not None:
-            if (region_map.topology.width, region_map.topology.height) != (
-                config.width,
-                config.height,
-            ):
+            if region_map.topology.signature() != self.topology.signature():
                 raise SimulationError("region map topology does not match network config")
             self.region_of = np.asarray(region_map.node_app, dtype=np.int64)
         else:
@@ -101,6 +98,7 @@ class Network:
         self._link_lat = config.link_latency
         self._credit_lat = config.credit_latency
         self._neighbor = self.topology.neighbor
+        self._opposite = self.topology.opposite
         # Injection: one FIFO per (node, vnet) + a serializing link.
         self.queues = [
             [deque() for _ in range(config.num_vnets)] for _ in range(self.topology.num_nodes)
@@ -125,7 +123,9 @@ class Network:
         # reports (port 0 counts ejections into the local NI). Nested
         # lists for the same per-flit-update reason; the ``link_flits``
         # property serves consumers the ndarray view they index.
-        self._link_flits = [[0] * 5 for _ in range(self.topology.num_nodes)]
+        self._link_flits = [
+            [0] * self.topology.num_ports for _ in range(self.topology.num_nodes)
+        ]
         # What DBAR actually sees: a quantized snapshot of the occupancy,
         # refreshed periodically — real DBAR ships coarse congestion levels
         # over dedicated wires with propagation delay, not exact per-cycle
@@ -400,7 +400,7 @@ class Network:
             upstream = self._neighbor[node][in_port]
             when = cycle + self._credit_lat
             lst = self._credits.get(when)
-            item = (upstream, OPPOSITE[in_port], in_vc)
+            item = (upstream, self._opposite[in_port], in_vc)
             if lst is None:
                 self._credits[when] = [item]
             else:
@@ -455,7 +455,7 @@ class Network:
                 pkt.hops += 1
             when = cycle + self._link_lat
             lst = self._arrivals.get(when)
-            item = (dst, OPPOSITE[out_port], out_vc, pkt if is_head else None)
+            item = (dst, self._opposite[out_port], out_vc, pkt if is_head else None)
             if lst is None:
                 self._arrivals[when] = [item]
             else:

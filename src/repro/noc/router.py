@@ -52,9 +52,9 @@ loops need (``vc_class_of``) are precomputed tuples for the same reason.
 
 from __future__ import annotations
 
-from repro.noc.buffers import VC_ACTIVE, VC_VA, InputVC
+from repro.noc.buffers import VC_VA, InputVC
 from repro.noc.config import NocConfig
-from repro.noc.topology import LOCAL, NUM_PORTS
+from repro.noc.topology import LOCAL
 
 __all__ = ["Router"]
 
@@ -70,7 +70,7 @@ def _mask_keys(mask: int) -> list[int]:
 
 
 class Router:
-    """One mesh router; all state is local except the network backref."""
+    """One router; all state is local except the network backref."""
 
     __slots__ = (
         "node",
@@ -97,7 +97,7 @@ class Router:
         "_first_data_vc",
         "_vnet_vcs_t",
         "_adaptive_vcs",
-        "_escape_vcs",
+        "_escape_sets",
         "ovc_n",
         "ovc_f",
         "native_high",
@@ -107,7 +107,8 @@ class Router:
         self.node = node
         self.config = config
         self.network = network
-        self.num_ports = NUM_PORTS
+        num_ports = network.topology.num_ports
+        self.num_ports = num_ports
         self.total_vcs = config.total_vcs
         self.app_id = app_id
         self.in_vcs = [
@@ -122,7 +123,7 @@ class Router:
                 )
                 for vc in range(self.total_vcs)
             ]
-            for port in range(NUM_PORTS)
+            for port in range(num_ports)
         ]
         # Flat view indexed by the wake-list key (port * total_vcs + vc),
         # plus per-VC config constants the arbitration inner loops need.
@@ -139,16 +140,25 @@ class Router:
             tuple(range(first, r.stop))
             for r, first in zip(self._vnet_range, self._first_data_vc)
         ]
-        self._escape_vcs = [
-            tuple(range(r.start, first))
+        # Escape VCs grouped by dateline class: _escape_sets[vnet][cls] are
+        # the escape VCs a packet of that vnet may request when its current
+        # escape hop carries dateline class cls. One class on a mesh (the
+        # set is all escape VCs, as before the topology layer); wrap
+        # fabrics stripe their escape VCs round-robin across two classes.
+        ncls = network.topology.num_escape_classes
+        self._escape_sets = [
+            tuple(
+                tuple(range(r.start + c, first, ncls))
+                for c in range(ncls)
+            )
             for r, first in zip(self._vnet_range, self._first_data_vc)
         ]
-        self.out_owner = [[None] * self.total_vcs for _ in range(NUM_PORTS)]
-        self.out_credits = [[config.vc_depth] * self.total_vcs for _ in range(NUM_PORTS)]
-        self.va_ptr = [[0] * self.total_vcs for _ in range(NUM_PORTS)]
-        self.sa_in_ptr = [0] * NUM_PORTS
-        self.sa_out_ptr = [0] * NUM_PORTS
-        self.va_req_ptr = [0] * NUM_PORTS
+        self.out_owner = [[None] * self.total_vcs for _ in range(num_ports)]
+        self.out_credits = [[config.vc_depth] * self.total_vcs for _ in range(num_ports)]
+        self.va_ptr = [[0] * self.total_vcs for _ in range(num_ports)]
+        self.sa_in_ptr = [0] * num_ports
+        self.sa_out_ptr = [0] * num_ports
+        self.va_req_ptr = [0] * num_ports
         self.busy_vcs = 0
         # Wake-list bitmasks (see module docstring).
         self.va_pending = 0
@@ -231,15 +241,16 @@ class Router:
         if ports is None:
             # RC stage: a table lookup when the routing algorithm built a
             # (node, dst) route table at attach, the dynamic queries
-            # otherwise (huge meshes, destination-impure algorithms).
+            # otherwise (huge fabrics, destination-impure algorithms).
             entry = network._route_entry
             if entry is not None:
-                ports, invc.escape_port = entry(node, pkt.dst)
+                ports, invc.escape_port, invc.escape_class = entry(node, pkt.dst)
                 invc.route_ports = ports
             else:
                 ports = routing.admissible_ports(node, pkt)
                 invc.route_ports = ports
                 invc.escape_port = routing.escape_port(node, pkt)
+                invc.escape_class = routing.escape_vc_class(node, pkt)
         ranked = routing.rank_ports(node, pkt, ports) if len(ports) > 1 else ports
         vnet = pkt.vnet
         depth = self.vc_depth
@@ -262,11 +273,12 @@ class Router:
                 for vc in self._adaptive_vcs[vnet]:
                     if owner_p[vc] is None and credits_p[vc] == depth:
                         options.append((p, vc))
-                # Escape VCs are only admissible on the
-                # dimension-order port (Duato deadlock freedom) and
-                # are tried after the adaptive VCs of their port.
+                # Escape VCs are only admissible on the dimension-order
+                # port (Duato deadlock freedom) — and, on wrap fabrics,
+                # only those of the hop's dateline class — and are tried
+                # after the adaptive VCs of their port.
                 if p == escape_port:
-                    for vc in self._escape_vcs[vnet]:
+                    for vc in self._escape_sets[vnet][invc.escape_class]:
                         if owner_p[vc] is None and credits_p[vc] == depth:
                             options.append((p, vc))
         return options

@@ -1,16 +1,45 @@
-"""2-D mesh topology: node numbering, ports, neighbour arithmetic.
+"""Topologies: node numbering, ports, neighbour arithmetic.
 
-Nodes are numbered row-major: node ``n`` sits at coordinates
-``(x, y) = (n % width, n // width)`` with ``x`` increasing eastward and
-``y`` increasing southward. Each router has five ports; port 0 (``LOCAL``)
-connects the attached core/network interface, ports 1-4 connect mesh
-neighbours.
+The simulator is topology-agnostic: every structural question a router,
+network, routing algorithm, or traffic pattern needs answered goes through
+a :class:`Topology` instance — node count, per-node port arity, the
+neighbour and opposite-port maps, coordinate helpers, and the region-block
+mapping used by :class:`~repro.core.regions.RegionMap`. Three fabrics are
+built in:
+
+:class:`MeshTopology`
+    The paper's 2-D mesh. Nodes are numbered row-major: node ``n`` sits at
+    ``(x, y) = (n % width, n // width)`` with ``x`` increasing eastward and
+    ``y`` increasing southward. Five ports; port 0 (``LOCAL``) connects the
+    attached core, ports 1-4 the mesh neighbours.
+:class:`TorusTopology`
+    The same grid with wrap-around links in both dimensions.
+:class:`RingTopology`
+    A bidirectional ring; three ports (``LOCAL``, clockwise,
+    counter-clockwise).
+
+Escape routing and datelines
+----------------------------
+
+Deadlock freedom follows Duato's theory (see :mod:`repro.routing.base`):
+the escape virtual channels only ever carry dimension-order traffic. On a
+mesh, dimension-order routing alone is acyclic, so one escape class
+suffices (``num_escape_classes == 1``). Wrap-around links close a cycle in
+each directed ring of a torus or ring fabric, so those topologies split the
+escape channels into **two dateline classes**: a packet travelling in a
+ring uses class 0 while it is on the near side of its destination and
+class 1 while on the far side (i.e. until it crosses the wrap edge). The
+class is a pure function of ``(current node, destination)`` —
+:meth:`Topology.escape_class` — so it lives in the precomputed route table.
+Within one directed ring, class-0 channels never use the wrap link and
+class-1 channels are only used on the segment before the wrap, with the
+only cross-class dependency being 1 -> 0 at the dateline; with dimensions
+ordered X-then-Y the escape channel dependency graph is acyclic.
 """
 
 from __future__ import annotations
 
-import networkx as nx
-
+from repro.util.errors import ConfigError
 from repro.util.validate import require
 
 __all__ = [
@@ -22,7 +51,16 @@ __all__ = [
     "NUM_PORTS",
     "PORT_NAMES",
     "OPPOSITE",
+    "RING_CW",
+    "RING_CCW",
+    "Topology",
     "MeshTopology",
+    "TorusTopology",
+    "RingTopology",
+    "TOPOLOGY_KINDS",
+    "make_topology",
+    "build_topology",
+    "num_escape_classes_for",
 ]
 
 LOCAL = 0
@@ -36,31 +74,56 @@ PORT_NAMES = ("local", "north", "east", "south", "west")
 # output port p arrives on (flits leaving eastward arrive on the west port).
 OPPOSITE = (LOCAL, SOUTH, WEST, NORTH, EAST)
 
+# Ring ports: 1 steps to the next-higher node id (clockwise), 2 to the
+# next-lower (counter-clockwise).
+RING_CW = 1
+RING_CCW = 2
+
 _DELTAS = {NORTH: (0, -1), EAST: (1, 0), SOUTH: (0, 1), WEST: (-1, 0)}
 
+#: topology kinds accepted by :func:`build_topology` / ``NocConfig.topology``
+TOPOLOGY_KINDS = ("mesh", "torus", "ring")
 
-class MeshTopology:
-    """Geometry of a ``width`` x ``height`` mesh.
 
-    Pure arithmetic — holds no simulation state. Precomputes the neighbour
-    table so the router hot loop never does coordinate math.
+class Topology:
+    """Geometry of a fabric: pure arithmetic, no simulation state.
+
+    Concrete subclasses populate, in ``__init__``:
+
+    ``width`` / ``height`` / ``num_nodes``
+        Logical grid extents (a ring is ``num_nodes x 1``) and node count.
+    ``neighbor``
+        ``neighbor[node][port]`` -> neighbour node id, or -1 where no link
+        exists (always -1 for ``LOCAL``).
+
+    and define, as class attributes:
+
+    ``kind`` / ``num_ports`` / ``port_names`` / ``opposite``
+        The registry name, per-node port arity, printable port names, and
+        the opposite-port map (``opposite[p]`` is the input port a flit
+        leaving through output port ``p`` arrives on).
+    ``num_escape_classes``
+        Dateline VC classes the escape network needs (1 when the
+        dimension-order graph is already acyclic, 2 for wrap fabrics);
+        the network requires ``escape_vcs >= num_escape_classes``.
     """
 
-    def __init__(self, width: int, height: int):
-        require(width >= 2 and height >= 2, f"mesh must be at least 2x2, got {width}x{height}")
-        self.width = width
-        self.height = height
-        self.num_nodes = width * height
-        # neighbor[node][port] -> neighbour node id, or -1 at the mesh edge.
-        self.neighbor: list[tuple[int, ...]] = []
-        for node in range(self.num_nodes):
-            x, y = node % width, node // width
-            row = [-1] * NUM_PORTS
-            for port, (dx, dy) in _DELTAS.items():
-                nx_, ny_ = x + dx, y + dy
-                if 0 <= nx_ < width and 0 <= ny_ < height:
-                    row[port] = ny_ * width + nx_
-            self.neighbor.append(tuple(row))
+    kind = "abstract"
+    num_ports = NUM_PORTS
+    port_names = PORT_NAMES
+    opposite = OPPOSITE
+    num_escape_classes = 1
+    #: derating applied by the experiment scenarios to their mesh-calibrated
+    #: injection rates: the ratio of this fabric's theoretical uniform-random
+    #: saturation throughput to an equal-node mesh's, capped at 1.0 (loads
+    #: are only ever derated, never inflated). Exactly 1.0 on the mesh, so
+    #: multiplying by it is a float no-op and mesh rates stay bit-identical.
+    saturation_scale = 1.0
+
+    width: int
+    height: int
+    num_nodes: int
+    neighbor: list[tuple[int, ...]]
 
     # -- coordinate helpers -------------------------------------------------
     def coords(self, node: int) -> tuple[int, int]:
@@ -69,8 +132,180 @@ class MeshTopology:
 
     def node_at(self, x: int, y: int) -> int:
         """Return the node id at ``(x, y)``."""
-        require(0 <= x < self.width and 0 <= y < self.height, f"({x},{y}) outside mesh")
+        require(
+            0 <= x < self.width and 0 <= y < self.height,
+            f"({x},{y}) outside {self.kind}",
+        )
         return y * self.width + x
+
+    def signature(self) -> tuple[str, int, int]:
+        """Hashable identity of the fabric (kind and extents).
+
+        Two topology instances with equal signatures are interchangeable;
+        region maps and networks compare signatures, never instances.
+        """
+        return (self.kind, self.width, self.height)
+
+    # -- routing queries ----------------------------------------------------
+    def hop_distance(self, src: int, dst: int) -> int:
+        """Minimal hop count between two nodes."""
+        raise NotImplementedError
+
+    def minimal_ports(self, node: int, dst: int) -> tuple[int, ...]:
+        """Output ports on minimal paths from ``node`` to ``dst``.
+
+        Returns ``(LOCAL,)`` when ``node == dst``; otherwise one or more
+        link ports (one or two per productive dimension).
+        """
+        raise NotImplementedError
+
+    def dimension_order_port(self, node: int, dst: int) -> int:
+        """The deterministic dimension-order output port (the escape path)."""
+        raise NotImplementedError
+
+    def xy_port(self, node: int, dst: int) -> int:
+        """Alias of :meth:`dimension_order_port` (historical mesh name)."""
+        return self.dimension_order_port(node, dst)
+
+    def escape_class(self, node: int, dst: int) -> int:
+        """Dateline VC class for the escape hop leaving ``node`` toward ``dst``.
+
+        Always 0 on fabrics whose dimension-order graph is acyclic; wrap
+        fabrics return 0 or 1 (see the module docstring).
+        """
+        return 0
+
+    def steps_to(self, node: int, dst: int, port: int) -> int:
+        """Hops travelled in ``port``'s direction en route from ``node`` to ``dst``.
+
+        Only meaningful for ports in ``minimal_ports(node, dst)`` — the
+        DBAR selection function uses it to bound its congestion path walk.
+        """
+        raise NotImplementedError
+
+    def path_nodes(self, node: int, port: int, stop: int) -> list[int]:
+        """Nodes reached by repeatedly stepping through ``port`` from ``node``.
+
+        Walks in the fixed direction ``port`` (a link port, not LOCAL) and
+        collects nodes until ``stop`` steps have been taken or, on fabrics
+        with edges, the boundary is hit. Used by the DBAR selection
+        function to enumerate the routers whose congestion feeds a path
+        estimate.
+        """
+        out: list[int] = []
+        cur = node
+        neighbor = self.neighbor
+        for _ in range(stop):
+            cur = neighbor[cur][port]
+            if cur < 0:
+                break
+            out.append(cur)
+        return out
+
+    # -- placement helpers --------------------------------------------------
+    def corner_nodes(self) -> tuple[int, int, int, int]:
+        """Four spread-out boundary nodes (used as memory-controller sites)."""
+        raise NotImplementedError
+
+    def center_nodes(self) -> tuple[int, int, int, int]:
+        """Four nodes at the centre of the fabric (hotspot sites)."""
+        raise NotImplementedError
+
+    def region_grid(self, cols: int, rows: int) -> list[int]:
+        """Node -> region assignment for a ``cols`` x ``rows`` region split.
+
+        Region ids are row-major. Uneven divisions are balanced with
+        integer rounding (band sizes differ by at most one).
+        """
+        if cols < 1 or rows < 1 or cols > self.width or rows > self.height:
+            raise ConfigError(
+                f"cannot split {self.width}x{self.height} {self.kind} "
+                f"into {cols}x{rows} regions"
+            )
+        col_of = band_index(self.width, cols)
+        row_of = band_index(self.height, rows)
+        assign = []
+        for node in range(self.num_nodes):
+            x, y = self.coords(node)
+            assign.append(row_of[y] * cols + col_of[x])
+        return assign
+
+    # -- export -------------------------------------------------------------
+    def to_networkx(self):
+        """Export the fabric as a ``networkx.Graph`` (for analysis/tests).
+
+        ``networkx`` is imported lazily — it is an ``[analysis]`` extra,
+        not a core simulator dependency.
+        """
+        import networkx as nx
+
+        g = nx.Graph()
+        g.add_nodes_from(range(self.num_nodes))
+        for node in range(self.num_nodes):
+            row = self.neighbor[node]
+            for port in range(1, self.num_ports):
+                if row[port] >= 0:
+                    g.add_edge(node, row[port])
+        return g
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"{type(self).__name__}({self.width}x{self.height})"
+
+
+class _GridTopology(Topology):
+    """Shared machinery of the 2-D grid fabrics (mesh and torus)."""
+
+    _wrap = False
+
+    def __init__(self, width: int, height: int):
+        require(
+            width >= 2 and height >= 2,
+            f"{self.kind} must be at least 2x2, got {width}x{height}",
+        )
+        self.width = width
+        self.height = height
+        self.num_nodes = width * height
+        # neighbor[node][port] -> neighbour node id, or -1 at a mesh edge.
+        self.neighbor: list[tuple[int, ...]] = []
+        for node in range(self.num_nodes):
+            x, y = node % width, node // width
+            row = [-1] * NUM_PORTS
+            for port, (dx, dy) in _DELTAS.items():
+                nx_, ny_ = x + dx, y + dy
+                if self._wrap:
+                    row[port] = (ny_ % height) * width + (nx_ % width)
+                elif 0 <= nx_ < width and 0 <= ny_ < height:
+                    row[port] = ny_ * width + nx_
+            self.neighbor.append(tuple(row))
+
+    def corner_nodes(self) -> tuple[int, int, int, int]:
+        """The four corner nodes (used as memory-controller sites)."""
+        return (
+            self.node_at(0, 0),
+            self.node_at(self.width - 1, 0),
+            self.node_at(0, self.height - 1),
+            self.node_at(self.width - 1, self.height - 1),
+        )
+
+    def center_nodes(self) -> tuple[int, int, int, int]:
+        """The 2x2 block of nodes around the grid centre."""
+        cx, cy = self.width // 2, self.height // 2
+        return (
+            self.node_at(cx - 1, cy - 1),
+            self.node_at(cx, cy - 1),
+            self.node_at(cx - 1, cy),
+            self.node_at(cx, cy),
+        )
+
+
+class MeshTopology(_GridTopology):
+    """Geometry of a ``width`` x ``height`` mesh.
+
+    Pure arithmetic — holds no simulation state. Precomputes the neighbour
+    table so the router hot loop never does coordinate math.
+    """
+
+    kind = "mesh"
 
     def hop_distance(self, src: int, dst: int) -> int:
         """Manhattan hop count between two nodes."""
@@ -99,7 +334,7 @@ class MeshTopology:
             ports.append(NORTH)
         return tuple(ports)
 
-    def xy_port(self, node: int, dst: int) -> int:
+    def dimension_order_port(self, node: int, dst: int) -> int:
         """The dimension-order (X-then-Y) output port from ``node`` to ``dst``."""
         if node == dst:
             return LOCAL
@@ -111,42 +346,240 @@ class MeshTopology:
             return WEST
         return SOUTH if dy > y else NORTH
 
-    def path_nodes(self, node: int, port: int, stop: int) -> list[int]:
-        """Nodes reached by repeatedly stepping through ``port`` from ``node``.
+    def steps_to(self, node: int, dst: int, port: int) -> int:
+        x, y = self.coords(node)
+        dx, dy = self.coords(dst)
+        if port in (EAST, WEST):
+            return abs(dx - x)
+        if port in (NORTH, SOUTH):
+            return abs(dy - y)
+        return 0
 
-        Walks in the fixed direction ``port`` (a mesh direction, not LOCAL)
-        and collects nodes until ``stop`` steps have been taken or the mesh
-        edge is hit. Used by the DBAR selection function to enumerate the
-        routers whose congestion feeds a path estimate.
-        """
-        out: list[int] = []
-        cur = node
-        for _ in range(stop):
-            cur = self.neighbor[cur][port]
-            if cur < 0:
-                break
-            out.append(cur)
-        return out
+
+class TorusTopology(_GridTopology):
+    """A ``width`` x ``height`` torus: the mesh grid plus wrap-around links.
+
+    Minimal routing takes the shorter way around each dimension (ties
+    prefer the positive — east/south — direction, matching dimension-order
+    routing). The escape network is dimension-order with two dateline VC
+    classes per dimension ring (module docstring).
+    """
+
+    kind = "torus"
+    _wrap = True
+    num_escape_classes = 2
+
+    def hop_distance(self, src: int, dst: int) -> int:
+        sx, sy = self.coords(src)
+        dx, dy = self.coords(dst)
+        hx = abs(sx - dx)
+        hy = abs(sy - dy)
+        return min(hx, self.width - hx) + min(hy, self.height - hy)
+
+    def minimal_ports(self, node: int, dst: int) -> tuple[int, ...]:
+        if node == dst:
+            return (LOCAL,)
+        x, y = self.coords(node)
+        dx, dy = self.coords(dst)
+        ports = []
+        if dx != x:
+            east = (dx - x) % self.width
+            west = self.width - east
+            if east < west:
+                ports.append(EAST)
+            elif west < east:
+                ports.append(WEST)
+            else:  # antipodal in X: both directions are minimal
+                ports.append(EAST)
+                ports.append(WEST)
+        if dy != y:
+            south = (dy - y) % self.height
+            north = self.height - south
+            if south < north:
+                ports.append(SOUTH)
+            elif north < south:
+                ports.append(NORTH)
+            else:
+                ports.append(SOUTH)
+                ports.append(NORTH)
+        return tuple(ports)
+
+    def dimension_order_port(self, node: int, dst: int) -> int:
+        if node == dst:
+            return LOCAL
+        x, y = self.coords(node)
+        dx, dy = self.coords(dst)
+        if dx != x:
+            east = (dx - x) % self.width
+            return EAST if east <= self.width - east else WEST
+        south = (dy - y) % self.height
+        return SOUTH if south <= self.height - south else NORTH
+
+    def escape_class(self, node: int, dst: int) -> int:
+        # Dateline rule per directed dimension ring: class 0 before the
+        # wrap edge would be needed, class 1 on the far side. Travelling
+        # east, a packet with x < dx never crosses the x = 0 dateline
+        # (class 0); one with x > dx is east-of-wrap (class 1) until the
+        # wrap hop lands it back in class 0. Symmetric for west/south/north.
+        if node == dst:
+            return 0
+        x, y = self.coords(node)
+        dx, dy = self.coords(dst)
+        if dx != x:
+            east = (dx - x) % self.width
+            if east <= self.width - east:
+                return 0 if x < dx else 1
+            return 0 if x > dx else 1
+        south = (dy - y) % self.height
+        if south <= self.height - south:
+            return 0 if y < dy else 1
+        return 0 if y > dy else 1
+
+    def steps_to(self, node: int, dst: int, port: int) -> int:
+        x, y = self.coords(node)
+        dx, dy = self.coords(dst)
+        if port == EAST:
+            return (dx - x) % self.width
+        if port == WEST:
+            return (x - dx) % self.width
+        if port == SOUTH:
+            return (dy - y) % self.height
+        if port == NORTH:
+            return (y - dy) % self.height
+        return 0
+
+
+class RingTopology(Topology):
+    """A bidirectional ring of ``num_nodes`` routers.
+
+    Three ports per router: ``LOCAL``, ``RING_CW`` (toward the next-higher
+    node id) and ``RING_CCW``. Logically a ``num_nodes x 1`` grid, so every
+    coordinate helper works unchanged. Minimal routing takes the shorter
+    way around (ties prefer clockwise); the escape network is the minimal
+    direction with two dateline VC classes (module docstring).
+    """
+
+    kind = "ring"
+    num_ports = 3
+    port_names = ("local", "cw", "ccw")
+    opposite = (LOCAL, RING_CCW, RING_CW)
+    num_escape_classes = 2
+
+    def __init__(self, num_nodes: int):
+        require(num_nodes >= 4, f"ring needs at least 4 nodes, got {num_nodes}")
+        self.width = num_nodes
+        self.height = 1
+        self.num_nodes = num_nodes
+        self.neighbor = [
+            (-1, (node + 1) % num_nodes, (node - 1) % num_nodes)
+            for node in range(num_nodes)
+        ]
+        # A bisection cut crosses 2 ring channels per direction vs ~sqrt(N)
+        # for an equal-node mesh, so uniform-random saturation is ~2/sqrt(N)
+        # of the mesh's (1.0 for N <= 4, 0.25 for the default 64 nodes).
+        self.saturation_scale = min(1.0, 2.0 / num_nodes**0.5)
+
+    def hop_distance(self, src: int, dst: int) -> int:
+        cw = (dst - src) % self.num_nodes
+        return min(cw, self.num_nodes - cw)
+
+    def minimal_ports(self, node: int, dst: int) -> tuple[int, ...]:
+        if node == dst:
+            return (LOCAL,)
+        cw = (dst - node) % self.num_nodes
+        ccw = self.num_nodes - cw
+        if cw < ccw:
+            return (RING_CW,)
+        if ccw < cw:
+            return (RING_CCW,)
+        return (RING_CW, RING_CCW)  # antipodal: both directions minimal
+
+    def dimension_order_port(self, node: int, dst: int) -> int:
+        if node == dst:
+            return LOCAL
+        cw = (dst - node) % self.num_nodes
+        return RING_CW if cw <= self.num_nodes - cw else RING_CCW
+
+    def escape_class(self, node: int, dst: int) -> int:
+        if node == dst:
+            return 0
+        cw = (dst - node) % self.num_nodes
+        if cw <= self.num_nodes - cw:
+            return 0 if node < dst else 1
+        return 0 if node > dst else 1
+
+    def steps_to(self, node: int, dst: int, port: int) -> int:
+        cw = (dst - node) % self.num_nodes
+        if port == RING_CW:
+            return cw
+        if port == RING_CCW:
+            return (self.num_nodes - cw) % self.num_nodes
+        return 0
 
     def corner_nodes(self) -> tuple[int, int, int, int]:
-        """The four corner nodes (used as memory-controller sites)."""
-        return (
-            self.node_at(0, 0),
-            self.node_at(self.width - 1, 0),
-            self.node_at(0, self.height - 1),
-            self.node_at(self.width - 1, self.height - 1),
-        )
+        """Four equally spread nodes (memory-controller sites)."""
+        n = self.num_nodes
+        return (0, n // 4, n // 2, 3 * n // 4)
 
-    def to_networkx(self) -> nx.Graph:
-        """Export the mesh as a :class:`networkx.Graph` (for analysis/tests)."""
-        g = nx.Graph()
-        g.add_nodes_from(range(self.num_nodes))
-        for node in range(self.num_nodes):
-            for port in (EAST, SOUTH):
-                nbr = self.neighbor[node][port]
-                if nbr >= 0:
-                    g.add_edge(node, nbr)
-        return g
+    def center_nodes(self) -> tuple[int, int, int, int]:
+        """Four consecutive nodes around the ring's midpoint."""
+        n = self.num_nodes
+        m = n // 2
+        return ((m - 1) % n, m, (m + 1) % n, (m + 2) % n)
+
+    def region_grid(self, cols: int, rows: int) -> list[int]:
+        """``cols * rows`` contiguous arcs, ids row-major like the grids."""
+        regions = cols * rows
+        if cols < 1 or rows < 1 or regions > self.num_nodes:
+            raise ConfigError(
+                f"cannot split {self.num_nodes}-node {self.kind} "
+                f"into {cols}x{rows} regions"
+            )
+        band_of = band_index(self.num_nodes, regions)
+        return [band_of[node] for node in range(self.num_nodes)]
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
-        return f"MeshTopology({self.width}x{self.height})"
+        return f"RingTopology({self.num_nodes})"
+
+
+def band_index(extent: int, bands: int) -> list[int]:
+    """Map each coordinate in [0, extent) to one of ``bands`` near-equal bands."""
+    # Boundaries by rounding i*extent/bands, giving band sizes that differ
+    # by at most one.
+    return [min(bands - 1, coord * bands // extent) for coord in range(extent)]
+
+
+_TOPOLOGY_CLASSES: dict[str, type] = {
+    "mesh": MeshTopology,
+    "torus": TorusTopology,
+    "ring": RingTopology,
+}
+
+
+def num_escape_classes_for(kind: str) -> int:
+    """Dateline escape-VC classes topology ``kind`` needs (without building it)."""
+    cls = _TOPOLOGY_CLASSES.get(kind)
+    if cls is None:
+        raise ConfigError(f"unknown topology {kind!r}; choose one of {TOPOLOGY_KINDS}")
+    return cls.num_escape_classes
+
+
+def build_topology(kind: str, width: int, height: int) -> Topology:
+    """Construct a topology by registry name.
+
+    A ring folds the ``width x height`` extents into a single
+    ``width * height``-node loop so configs stay shape-compatible.
+    """
+    if kind == "ring":
+        return RingTopology(width * height)
+    cls = _TOPOLOGY_CLASSES.get(kind)
+    if cls is None:
+        raise ConfigError(f"unknown topology {kind!r}; choose one of {TOPOLOGY_KINDS}")
+    return cls(width, height)
+
+
+def make_topology(config) -> Topology:
+    """Build the topology a :class:`~repro.noc.config.NocConfig` names."""
+    return build_topology(
+        getattr(config, "topology", "mesh"), config.width, config.height
+    )

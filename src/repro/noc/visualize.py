@@ -15,7 +15,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.regions import RegionMap
-from repro.noc.topology import EAST, SOUTH, MeshTopology
+from repro.noc.topology import EAST, RING_CCW, RING_CW, SOUTH, Topology
 
 __all__ = [
     "render_regions",
@@ -63,15 +63,23 @@ def render_occupancy(network) -> str:
 
 
 def render_link_utilization(network, cycles: int) -> str:
-    """Mesh links annotated with flits/cycle (east and south links shown).
+    """Links annotated with flits/cycle.
 
+    Grid fabrics show the east and south links (wrap links of a torus are
+    counted but not drawn); a ring lists each node's cw/ccw rates.
     ``cycles`` is the elapsed simulated time the counters cover.
     """
     if cycles <= 0:
         raise ValueError("cycles must be positive")
-    topo: MeshTopology = network.topology
+    topo: Topology = network.topology
     lf = network.link_flits
     lines = [f"link utilization over {cycles} cycles (flits/cycle):"]
+    if topo.kind == "ring":
+        for node in range(topo.num_nodes):
+            cw = lf[node, RING_CW] / cycles
+            ccw = lf[node, RING_CCW] / cycles
+            lines.append(f"{node:3d}: cw={cw:.2f} ccw={ccw:.2f}")
+        return "\n".join(lines)
     for y in range(topo.height):
         east_row = []
         south_row = []

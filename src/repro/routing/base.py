@@ -8,28 +8,31 @@ router:
 2. *Port ranking* (the selection function) — in which order should
    admissible ports be tried, given current congestion knowledge.
 
-Deadlock freedom follows Duato's theory: VC 0 of each virtual network is an
-escape channel on which only the dimension-order (XY) direction may be
-requested; all other VCs are unrestricted among admissible ports. The
-escape network alone is XY on a mesh, which is deadlock-free, and a blocked
-packet can always eventually request the escape VC, so the full network is
+Deadlock freedom follows Duato's theory: the escape VCs of each virtual
+network are channels on which only the topology's dimension-order direction
+may be requested; all other VCs are unrestricted among admissible ports.
+The escape network alone is dimension-order routing, which is acyclic on a
+mesh directly and on wrap fabrics (torus, ring) once split into two
+dateline VC classes (see :mod:`repro.noc.topology`); a blocked packet can
+always eventually request its escape VC, so the full network is
 deadlock-free regardless of the adaptive selection used.
 
 Route tables
 ------------
 
-For every algorithm in this package the *admissible-port set* and the
-*escape port* are pure functions of ``(node, dst)`` — only the selection
-(``rank_ports``) reads dynamic state. :meth:`RoutingAlgorithm.attach`
-therefore precomputes a flat ``num_nodes**2`` table of
-``(admissible_ports, escape_port)`` entries once per network, and the
-router's RC stage becomes a single list index (see ``Router.va_options``).
-An algorithm whose admissibility depends on more than the destination
-(e.g. per-vnet or source-dependent relations) must set
-``route_table_enabled = False`` to keep the dynamic per-packet path; the
-table build probes ``admissible_ports`` with a lightweight stand-in packet
-that only carries ``src``/``dst``/``vnet``/``app_id``, so exotic field
-reads fail loudly at attach time rather than silently mis-tabulating.
+For every algorithm in this package the *admissible-port set*, the *escape
+port*, and the *escape VC class* are pure functions of ``(node, dst)`` —
+only the selection (``rank_ports``) reads dynamic state.
+:meth:`RoutingAlgorithm.attach` therefore precomputes a flat
+``num_nodes**2`` table of ``(admissible_ports, escape_port, escape_class)``
+entries once per network, and the router's RC stage becomes a single list
+index (see ``Router.va_options``). An algorithm whose admissibility depends
+on more than the destination (e.g. per-vnet or source-dependent relations)
+must set ``route_table_enabled = False`` to keep the dynamic per-packet
+path; the table build probes ``admissible_ports`` with a lightweight
+stand-in packet that only carries ``src``/``dst``/``vnet``/``app_id``, so
+exotic field reads fail loudly at attach time rather than silently
+mis-tabulating.
 """
 
 from __future__ import annotations
@@ -67,7 +70,7 @@ class RoutingAlgorithm:
 
     def __init__(self) -> None:
         self.network = None
-        self._route_table: list[tuple[tuple[int, ...], int]] | None = None
+        self._route_table: list[tuple[tuple[int, ...], int, int]] | None = None
         self._num_nodes = 0
 
     def attach(self, network) -> None:
@@ -88,12 +91,13 @@ class RoutingAlgorithm:
                     probe.dst = dst
                     table.append(
                         (self.admissible_ports(node, probe),
-                         self.escape_port(node, probe))
+                         self.escape_port(node, probe),
+                         self.escape_vc_class(node, probe))
                     )
             self._route_table = table
 
-    def route_entry(self, node: int, dst: int) -> tuple[tuple[int, ...], int]:
-        """Precomputed ``(admissible_ports, escape_port)`` for a head flit.
+    def route_entry(self, node: int, dst: int) -> tuple[tuple[int, ...], int, int]:
+        """Precomputed ``(admissible_ports, escape_port, escape_class)``.
 
         Only valid when a table was built (``attach`` on a tableable
         algorithm); the network caches whether it may call this.
@@ -107,7 +111,16 @@ class RoutingAlgorithm:
 
     def escape_port(self, node: int, pkt) -> int:
         """The single port on which the escape VC may be requested."""
-        return self.network.topology.xy_port(node, pkt.dst)
+        return self.network.topology.dimension_order_port(node, pkt.dst)
+
+    def escape_vc_class(self, node: int, pkt) -> int:
+        """Dateline VC class of the escape hop (0 on single-class fabrics).
+
+        Algorithms that override :meth:`escape_port` away from the
+        topology's dimension-order port must keep this consistent with
+        their escape relation; the default delegates to the topology.
+        """
+        return self.network.topology.escape_class(node, pkt.dst)
 
     def rank_ports(self, node: int, pkt, ports: tuple[int, ...]) -> tuple[int, ...]:
         """Order ``ports`` from most to least preferred (selection function)."""

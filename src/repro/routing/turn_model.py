@@ -25,12 +25,23 @@ from __future__ import annotations
 from repro.routing.base import RoutingAlgorithm
 from repro.routing.selection import credit_rank
 from repro.noc.topology import EAST, LOCAL, NORTH, SOUTH, WEST
+from repro.util.errors import ConfigError
 
 __all__ = ["WestFirstRouting", "OddEvenRouting"]
 
 
 class _TurnModelRouting(RoutingAlgorithm):
     """Shared machinery: credit-ranked selection, first-port escape."""
+
+    def attach(self, network) -> None:
+        # The turn relations are proved acyclic on a mesh only; a wrap
+        # link would reintroduce the cycles the banned turns break.
+        kind = network.topology.kind
+        if kind != "mesh":
+            raise ConfigError(
+                f"{self.name} turn-model routing is mesh-only, got {kind!r}"
+            )
+        super().attach(network)
 
     def rank_ports(self, node: int, pkt, ports: tuple[int, ...]) -> tuple[int, ...]:
         if len(ports) <= 1:

@@ -1,8 +1,11 @@
-"""Deterministic dimension-order (XY) routing.
+"""Deterministic dimension-order routing.
 
-Packets fully traverse the X dimension before turning into Y. On a mesh
-this is minimal and deadlock-free without virtual channels, which is why it
-also serves as the escape function for the adaptive algorithms.
+Packets fully traverse the X dimension before turning into Y (on a ring,
+the minimal direction is fixed at the source). On a mesh this is minimal
+and deadlock-free without virtual channels; on wrap fabrics it is the
+dateline-classed escape relation (see :mod:`repro.noc.topology`) — in both
+cases it is exactly the escape function the adaptive algorithms use, which
+is why the deterministic baseline routes every VC along it.
 """
 
 from __future__ import annotations
@@ -13,12 +16,12 @@ __all__ = ["XYRouting"]
 
 
 class XYRouting(RoutingAlgorithm):
-    """X-then-Y dimension-order routing."""
+    """Dimension-order routing (X-then-Y on grids, minimal-way on rings)."""
 
     name = "xy"
 
     def admissible_ports(self, node: int, pkt) -> tuple[int, ...]:
-        return (self.network.topology.xy_port(node, pkt.dst),)
+        return (self.network.topology.dimension_order_port(node, pkt.dst),)
 
     def escape_port(self, node: int, pkt) -> int:
-        return self.network.topology.xy_port(node, pkt.dst)
+        return self.network.topology.dimension_order_port(node, pkt.dst)

@@ -10,7 +10,7 @@ to the adversary) while STC's intensity oracle ranks them last.
 
 from __future__ import annotations
 
-from repro.noc.topology import MeshTopology
+from repro.noc.topology import Topology
 from repro.traffic.patterns import UniformPattern
 from repro.traffic.synthetic import SyntheticTrafficSource
 
@@ -25,7 +25,7 @@ class AdversarialTrafficSource(SyntheticTrafficSource):
 
     def __init__(
         self,
-        topology: MeshTopology,
+        topology: Topology,
         seed,
         rate: float = 0.4,
         app_id: int = ADVERSARY_APP_ID,

@@ -21,7 +21,7 @@ from collections.abc import Sequence
 import numpy as np
 
 from repro.core.regions import RegionMap
-from repro.noc.topology import MeshTopology
+from repro.noc.topology import Topology
 from repro.util.errors import TrafficError
 
 __all__ = [
@@ -39,7 +39,7 @@ class UniformPattern:
 
     def __init__(
         self,
-        topology: MeshTopology,
+        topology: Topology,
         nodes: Sequence[int] | None = None,
         exclude_src: bool = True,
     ):
@@ -62,7 +62,7 @@ class UniformPattern:
 class TransposePattern:
     """Matrix transpose: ``(x, y) -> (y, x)``; needs a square mesh."""
 
-    def __init__(self, topology: MeshTopology):
+    def __init__(self, topology: Topology):
         if topology.width != topology.height:
             raise TrafficError("transpose requires a square mesh")
         self.topology = topology
@@ -75,7 +75,7 @@ class TransposePattern:
 class BitComplementPattern:
     """Bit complement: ``(x, y) -> (W-1-x, H-1-y)``."""
 
-    def __init__(self, topology: MeshTopology):
+    def __init__(self, topology: Topology):
         self.topology = topology
 
     def __call__(self, rng: np.random.Generator, src: int) -> int:
@@ -93,7 +93,7 @@ class HotspotPattern:
 
     def __init__(
         self,
-        topology: MeshTopology,
+        topology: Topology,
         hotspots: Sequence[int] | None = None,
         hot_prob: float = 0.5,
         background=None,
@@ -148,7 +148,7 @@ class OutOfRegionPattern:
         return int(ext[rng.integers(len(ext))])
 
 
-def make_pattern(name: str, topology: MeshTopology, **kwargs):
+def make_pattern(name: str, topology: Topology, **kwargs):
     """Build a pattern by its paper abbreviation (``ur``/``tp``/``bc``/``hs``)."""
     lname = name.lower()
     if lname in ("ur", "uniform", "uniform_random"):

@@ -21,7 +21,7 @@ from repro.experiments import (
     fig17_parsec,
     table1,
 )
-from repro.experiments.calibrate import find_saturation, probe_apl
+from repro.experiments.calibrate import probe_apl
 from repro.experiments.scenarios import (
     four_app_dpa,
     parsec_quadrants,

@@ -8,7 +8,7 @@ pytestmark = pytest.mark.chaos
 from repro import build_simulation
 from repro.noc.config import NocConfig
 from repro.noc.flit import Packet
-from repro.noc.topology import EAST, LOCAL
+from repro.noc.topology import EAST
 from repro.util.errors import SimulationError
 
 

@@ -1,7 +1,6 @@
 """Tests for network-internal mechanics: injection rotation, vnet
 fairness, ejection callbacks, and bookkeeping counters."""
 
-import pytest
 
 from repro import build_simulation
 from repro.noc.config import NocConfig

@@ -5,7 +5,6 @@ simulations (small meshes, short windows) — the quantitative shape checks
 against the paper live in the benchmark harness.
 """
 
-import pytest
 
 from repro import build_simulation
 from repro.core.dpa import DpaConfig

@@ -7,7 +7,7 @@ from repro import build_simulation
 from repro.noc.buffers import VC_ACTIVE, VC_VA
 from repro.noc.config import NocConfig, VcClass
 from repro.noc.flit import Packet
-from repro.noc.topology import EAST, LOCAL, WEST
+from repro.noc.topology import EAST, LOCAL
 from repro.util.errors import SimulationError
 
 

@@ -6,7 +6,7 @@ import pytest
 from repro import build_simulation
 from repro.noc.config import NocConfig
 from repro.noc.flit import Packet
-from repro.noc.topology import EAST, LOCAL
+from repro.noc.topology import EAST
 from repro.traffic.patterns import UniformPattern
 from repro.traffic.synthetic import FixedLength, SyntheticTrafficSource
 from repro.util.errors import SimulationError

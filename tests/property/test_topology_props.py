@@ -1,0 +1,113 @@
+"""Property-based tests shared by every topology.
+
+For arbitrary fabric sizes: the opposite-port map is an involution, the
+neighbour table is symmetric, the link graph is connected, and the escape
+(dimension-order) walk reaches every destination minimally while its
+dateline VC classes only ever step downward — the invariants the Duato
+deadlock-freedom argument rests on (see repro.noc.topology's docstring).
+"""
+
+from collections import deque
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.noc.topology import LOCAL, MeshTopology, RingTopology, TorusTopology
+
+dims = st.integers(min_value=2, max_value=9)
+ring_sizes = st.integers(min_value=4, max_value=40)
+
+
+def topologies():
+    """Strategy yielding arbitrary instances of every fabric kind."""
+    grids = st.tuples(st.sampled_from([MeshTopology, TorusTopology]), dims, dims).map(
+        lambda t: t[0](t[1], t[2])
+    )
+    rings = ring_sizes.map(RingTopology)
+    return st.one_of(grids, rings)
+
+
+@given(topologies())
+@settings(max_examples=60)
+def test_opposite_is_an_involution(topo):
+    for port in range(topo.num_ports):
+        assert topo.opposite[topo.opposite[port]] == port
+    assert topo.opposite[LOCAL] == LOCAL
+
+
+@given(topologies())
+@settings(max_examples=60)
+def test_neighbor_table_is_symmetric(topo):
+    for node in range(topo.num_nodes):
+        assert topo.neighbor[node][LOCAL] == -1
+        for port in range(1, topo.num_ports):
+            nbr = topo.neighbor[node][port]
+            if nbr >= 0:
+                assert topo.neighbor[nbr][topo.opposite[port]] == node
+
+
+@given(topologies())
+@settings(max_examples=60)
+def test_link_graph_is_connected(topo):
+    seen = {0}
+    frontier = deque([0])
+    while frontier:
+        node = frontier.popleft()
+        for nbr in topo.neighbor[node]:
+            if nbr >= 0 and nbr not in seen:
+                seen.add(nbr)
+                frontier.append(nbr)
+    assert len(seen) == topo.num_nodes
+
+
+@given(topologies())
+@settings(max_examples=30)
+def test_escape_routing_reaches_every_destination_minimally(topo):
+    for src in range(topo.num_nodes):
+        for dst in range(0, topo.num_nodes, max(1, topo.num_nodes // 9)):
+            cur, hops = src, 0
+            while cur != dst:
+                port = topo.dimension_order_port(cur, dst)
+                assert port != LOCAL
+                cur = topo.neighbor[cur][port]
+                hops += 1
+                assert hops <= topo.num_nodes, "escape walk must terminate"
+            assert hops == topo.hop_distance(src, dst)
+            assert topo.dimension_order_port(dst, dst) == LOCAL
+
+
+@given(topologies())
+@settings(max_examples=30)
+def test_escape_classes_never_step_upward_within_a_dimension(topo):
+    # Along any escape walk, the dateline class may only drop (1 -> 0 at
+    # the wrap edge) while the output port stays the same; a class increase
+    # without a dimension change would close a channel-dependency cycle.
+    for src in range(topo.num_nodes):
+        for dst in range(0, topo.num_nodes, max(1, topo.num_nodes // 9)):
+            cur = src
+            prev_port = None
+            prev_cls = None
+            while cur != dst:
+                port = topo.dimension_order_port(cur, dst)
+                cls = topo.escape_class(cur, dst)
+                assert 0 <= cls < topo.num_escape_classes
+                if port == prev_port:
+                    assert cls <= prev_cls
+                prev_port, prev_cls = port, cls
+                cur = topo.neighbor[cur][port]
+
+
+@given(topologies())
+@settings(max_examples=40)
+def test_minimal_ports_make_progress(topo):
+    for node in range(topo.num_nodes):
+        for dst in range(0, topo.num_nodes, max(1, topo.num_nodes // 9)):
+            ports = topo.minimal_ports(node, dst)
+            if node == dst:
+                assert ports == (LOCAL,)
+                continue
+            assert ports
+            for port in ports:
+                nbr = topo.neighbor[node][port]
+                assert nbr >= 0
+                assert topo.hop_distance(nbr, dst) == topo.hop_distance(node, dst) - 1

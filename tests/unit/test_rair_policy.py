@@ -3,7 +3,6 @@
 import pytest
 
 from repro.core.dpa import DpaConfig
-from repro.core.msp import Stage
 from repro.core.rair import RairPolicy
 from repro.noc.config import VcClass
 

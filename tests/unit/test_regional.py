@@ -1,6 +1,5 @@
 """Unit tests for the regionalized per-application traffic source."""
 
-import numpy as np
 import pytest
 
 from repro.core.regions import RegionMap

@@ -32,6 +32,7 @@ def test_table_matches_dynamic_queries_for_every_pair(name):
             assert entry == (
                 routing.admissible_ports(node, pkt),
                 routing.escape_port(node, pkt),
+                routing.escape_vc_class(node, pkt),
             ), f"{name}: table mismatch at node={node} dst={dst}"
 
 

@@ -7,7 +7,7 @@ from repro import build_simulation
 from repro.core.regions import RegionMap
 from repro.noc.config import NocConfig
 from repro.noc.flit import Packet
-from repro.noc.topology import EAST, LOCAL, NORTH, SOUTH, WEST
+from repro.noc.topology import EAST, LOCAL, SOUTH
 from repro.routing import DbarRouting, DuatoAdaptiveRouting, XYRouting, make_routing
 from repro.routing.selection import credit_rank, dbar_rank
 

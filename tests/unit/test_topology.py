@@ -1,6 +1,5 @@
 """Unit tests for the mesh topology."""
 
-import networkx as nx
 import pytest
 
 from repro.noc.topology import (
@@ -134,6 +133,7 @@ class TestExports:
         assert topo.corner_nodes() == (0, 7, 56, 63)
 
     def test_networkx_export_is_grid(self):
+        nx = pytest.importorskip("networkx")
         topo = MeshTopology(4, 5)
         g = topo.to_networkx()
         assert g.number_of_nodes() == 20
