@@ -17,6 +17,7 @@ from repro.experiments.report import (
     effort_argparser,
     failed_label,
     finish,
+    guard_from_args,
     obs_from_args,
     parse_effort,
     policy_from_args,
@@ -37,6 +38,7 @@ def run(
     cache=None,
     policy: FaultPolicy | None = None,
     obs=None,
+    guard=None,
     topology: str = "mesh",
 ) -> FigureResult:
     """One row per routing algorithm; reductions are RAIR vs RO_RR.
@@ -53,7 +55,7 @@ def run(
         for prefix, policy_name in (("RO_RR", "rr"), ("RAIR", "rair"))
     ]
     results, report = run_cells_detailed(
-        cells, jobs=jobs, cache=cache, policy=policy, obs=obs
+        cells, jobs=jobs, cache=cache, policy=policy, obs=obs, guard=guard
     )
     it = iter(results)
     value_cols = ("apl_app0_rr", "apl_app0_rair", "red_app0", "red_app1")
@@ -112,6 +114,7 @@ def main(argv=None) -> int:
         cache=args.cache,
         policy=policy_from_args(args),
         obs=obs_from_args(args),
+        guard=guard_from_args(args),
         topology=args.topology,
     )
     return finish(result)

@@ -18,6 +18,7 @@ from repro.experiments.report import (
     effort_argparser,
     failed_label,
     finish,
+    guard_from_args,
     obs_from_args,
     parse_effort,
     policy_from_args,
@@ -47,6 +48,7 @@ def run(
     cache=None,
     policy: FaultPolicy | None = None,
     obs=None,
+    guard=None,
     topology: str = "mesh",
 ) -> FigureResult:
     """One row per VC split; reductions are vs RO_RR on the same config.
@@ -62,7 +64,7 @@ def run(
         cells.append(Cell.for_scenario(SCHEMES["RO_RR"], scenario, effort, seed))
         cells.append(Cell.for_scenario(SCHEMES["RA_RAIR"], scenario, effort, seed))
     results, report = run_cells_detailed(
-        cells, jobs=jobs, cache=cache, policy=policy, obs=obs
+        cells, jobs=jobs, cache=cache, policy=policy, obs=obs, guard=guard
     )
     it = iter(results)
     rows = []
@@ -111,6 +113,7 @@ def main(argv=None) -> int:
         cache=args.cache,
         policy=policy_from_args(args),
         obs=obs_from_args(args),
+        guard=guard_from_args(args),
         topology=args.topology,
     )
     return finish(result)

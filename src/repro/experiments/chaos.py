@@ -51,7 +51,14 @@ from repro.traffic.patterns import UniformPattern
 from repro.traffic.synthetic import FixedLength, SyntheticTrafficSource
 from repro.util.errors import ConfigError, SimulationError
 
-__all__ = ["CHAOS_MODES", "chaos_scenario", "chaos_cell"]
+__all__ = [
+    "CHAOS_MODES",
+    "GUARD_FAULTS",
+    "chaos_scenario",
+    "chaos_cell",
+    "guard_chaos_scenario",
+    "guard_chaos_cell",
+]
 
 CHAOS_MODES = (
     "ok",
@@ -135,6 +142,228 @@ def chaos_scenario(
             "repro.experiments.chaos:chaos_scenario",
             {"mode": mode, "marker": marker, "cell_id": cell_id, "rate": rate},
         ),
+    )
+
+
+#: runtime-state faults for exercising the invariant guard
+#: (:mod:`repro.noc.guard`); each corrupts *live simulator state* from a
+#: traffic source's ``tick``, so the guard — not the construction-time
+#: machinery above — must catch it. Expected classification:
+#:
+#: ``credit_leak``      -> credit_conservation (one credit vanishes)
+#: ``drop_tail``        -> flit_conservation (a buffered flit vanishes)
+#: ``freeze_router``    -> starvation (one router's SA stage wedged while
+#:                         the rest of the chip keeps ejecting; needs the
+#:                         guard's ``age_watermark``)
+#: ``dateline``         -> dateline (cached escape class corrupted; wrap
+#:                         fabrics only)
+#: ``livelock``         -> livelock (wedged packets + forged flit motion:
+#:                         the ejection watchdog must see through it)
+#: ``deadlock``         -> deadlock (hand-built cyclic buffer wedge
+#:                         between two adjacent routers; the wait-graph
+#:                         search must find the cycle)
+GUARD_FAULTS = (
+    "credit_leak",
+    "drop_tail",
+    "freeze_router",
+    "dateline",
+    "livelock",
+    "deadlock",
+)
+
+
+class _GuardFaultSource:
+    """Traffic source that sabotages live network state at ``at_cycle``.
+
+    Ticks run inside :meth:`Simulator.step` before injections and router
+    phases, so the corruption lands mid-simulation exactly like a real
+    bug would. Deliberately has no ``next_injection_cycle``: its presence
+    disables idle fast-forward, so every cycle actually ticks.
+    """
+
+    def __init__(self, fault: str, at_cycle: int, freeze_node: int = 5):
+        self.fault = fault
+        self.at_cycle = at_cycle
+        self.freeze_node = freeze_node
+        self.done = False
+
+    def tick(self, cycle: int, net) -> None:
+        if cycle < self.at_cycle:
+            return
+        fault = self.fault
+        if fault == "credit_leak":
+            if not self.done:
+                self._leak_credit(net)
+        elif fault == "drop_tail":
+            if not self.done:
+                self._drop_flit(net)
+        elif fault == "freeze_router":
+            # Re-freeze every cycle: arrivals and grants keep re-arming
+            # the wake bits, a one-shot clear would heal within a cycle.
+            net.routers[self.freeze_node].sa_pending = 0
+        elif fault == "dateline":
+            self._corrupt_dateline(net)
+        elif fault == "livelock":
+            if not self.done:
+                self._wedge(net, cycle)
+            # Forge flit motion so the movement watchdog stays satisfied;
+            # only the ejection watchdog can see this stall.
+            net.flits_moved += 1
+        elif fault == "deadlock":
+            if not self.done:
+                self._wedge(net, cycle)
+
+    def _leak_credit(self, net) -> None:
+        router = net.routers[0]
+        for port in range(1, router.num_ports):
+            if net.topology.neighbor[0][port] >= 0:
+                router.out_credits[port][0] -= 1
+                self.done = True
+                return
+
+    def _drop_flit(self, net) -> None:
+        for router in net.routers:
+            if not router.busy_vcs:
+                continue
+            for invc in router.vcs:
+                if invc.arrivals:
+                    invc.arrivals.pop()  # counters left stale on purpose
+                    self.done = True
+                    return
+        # no buffered flit yet: retry next tick
+
+    def _corrupt_dateline(self, net) -> None:
+        ncls = net.topology.num_escape_classes
+        for router in net.routers:
+            if not router.busy_vcs:
+                continue
+            for invc in router.vcs:
+                if invc.pkt is not None and invc.route_ports is not None:
+                    entry = net._route_entry
+                    if entry is not None:
+                        expected = entry(router.node, invc.pkt.dst)[2]
+                    else:
+                        expected = net.routing.escape_vc_class(router.node, invc.pkt)
+                    invc.escape_class = (expected + 1) % ncls
+
+    def _wedge(self, net, cycle: int) -> None:
+        """Cross-wedge two adjacent routers into a cyclic buffer wait.
+
+        Every VC of node ``b``'s input port facing ``a`` is filled with a
+        full-length packet destined back to ``a`` (and vice versa), with
+        the upstream credit counters drained to match — so every
+        conservation equation holds, but each side's packets need a
+        downstream VC the other side's packets occupy: a true cyclic
+        wait, indistinguishable from an organically-routed deadlock.
+        """
+        topo = net.topology
+        a = 0
+        port_a = next(
+            p for p in range(1, topo.num_ports) if topo.neighbor[a][p] >= 0
+        )
+        b = topo.neighbor[a][port_a]
+        port_b = topo.opposite[port_a]
+        cfg = net.config
+        depth = cfg.vc_depth
+        length = min(depth, cfg.max_packet_flits)
+        for node, port, upstream, up_port, dst in (
+            (b, port_b, a, port_a, a),
+            (a, port_a, b, port_b, b),
+        ):
+            for vc in range(cfg.total_vcs):
+                pkt = net.alloc_packet(
+                    src=dst, dst=dst, length=length, inject_cycle=cycle,
+                    vnet=cfg.vc_vnet(vc),
+                )
+                net._deliver_flit(node, port, vc, pkt, cycle)
+                for _ in range(length - 1):
+                    net._deliver_flit(node, port, vc, None, cycle)
+                net.routers[upstream].out_credits[up_port][vc] -= length
+                net.packets_in_flight += 1
+        self.done = True
+
+
+def guard_chaos_scenario(
+    fault: str = "deadlock",
+    cell_id: int = 0,
+    rate: float = 0.05,
+    at_cycle: int = 50,
+) -> Scenario:
+    """A scenario whose traffic source corrupts live simulator state.
+
+    ``deadlock`` / ``livelock`` run with no background traffic (the wedge
+    is the whole workload); the conservation faults ride a light uniform
+    load so there is state to corrupt. ``dateline`` runs on a 4x4 torus
+    (two escape classes); everything else on the 4x4 mesh.
+    """
+    if fault not in GUARD_FAULTS:
+        raise ConfigError(f"unknown guard fault {fault!r}; known: {GUARD_FAULTS}")
+    if fault in ("deadlock", "livelock"):
+        rate = 0.0
+    if fault == "dateline":
+        config = NocConfig.for_topology("torus", width=4, height=4)
+    else:
+        config = NocConfig(width=4, height=4)
+    topo = make_topology(config)
+
+    def factory(seed: int) -> list:
+        sources: list = [_GuardFaultSource(fault, at_cycle)]
+        if rate > 0.0:
+            sources.append(
+                SyntheticTrafficSource(
+                    nodes=range(config.num_nodes),
+                    rate=rate,
+                    pattern=UniformPattern(topo),
+                    app_id=0,
+                    seed=seed,
+                    lengths=FixedLength(2),
+                )
+            )
+        return sources
+
+    return Scenario(
+        name=f"guard_chaos_{fault}_{cell_id}",
+        config=config,
+        region_map=None,
+        traffic_factory=factory,
+        description=f"guard fault-injection scenario (fault={fault})",
+        meta={"fault": fault, "cell_id": cell_id},
+        spec=ScenarioSpec(
+            "repro.experiments.chaos:guard_chaos_scenario",
+            {"fault": fault, "cell_id": cell_id, "rate": rate, "at_cycle": at_cycle},
+        ),
+    )
+
+
+def guard_chaos_cell(
+    scheme,
+    effort,
+    seed: int,
+    fault: str = "deadlock",
+    cell_id: int = 0,
+    rate: float = 0.05,
+    at_cycle: int = 50,
+):
+    """Build a guard-fault :class:`~repro.experiments.parallel.Cell`.
+
+    Assembled from the raw spec (like :func:`chaos_cell`) so the fault
+    source is constructed — and detonates — in whatever process runs the
+    cell.
+    """
+    from repro.experiments.parallel import Cell
+
+    if fault not in GUARD_FAULTS:
+        raise ConfigError(f"unknown guard fault {fault!r}; known: {GUARD_FAULTS}")
+    if fault in ("deadlock", "livelock"):
+        rate = 0.0
+    return Cell(
+        scheme=scheme,
+        spec=ScenarioSpec(
+            "repro.experiments.chaos:guard_chaos_scenario",
+            {"fault": fault, "cell_id": cell_id, "rate": rate, "at_cycle": at_cycle},
+        ),
+        effort=effort,
+        seed=seed,
     )
 
 

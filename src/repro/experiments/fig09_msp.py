@@ -20,6 +20,7 @@ from repro.experiments.report import (
     effort_argparser,
     failed_label,
     finish,
+    guard_from_args,
     obs_from_args,
     parse_effort,
     policy_from_args,
@@ -42,6 +43,7 @@ def run(
     cache=None,
     policy: FaultPolicy | None = None,
     obs=None,
+    guard=None,
     topology: str = "mesh",
 ) -> FigureResult:
     """Run the Fig. 9 sweep; one row per (p, scheme).
@@ -57,7 +59,7 @@ def run(
         for key in schemes
     ]
     results, report = run_cells_detailed(
-        cells, jobs=jobs, cache=cache, policy=policy, obs=obs
+        cells, jobs=jobs, cache=cache, policy=policy, obs=obs, guard=guard
     )
     it = iter(results)
     rows = []
@@ -111,6 +113,7 @@ def main(argv=None) -> int:
         cache=args.cache,
         policy=policy_from_args(args),
         obs=obs_from_args(args),
+        guard=guard_from_args(args),
         topology=args.topology,
     )
     return finish(result)

@@ -18,6 +18,7 @@ from repro.experiments.report import (
     effort_argparser,
     failed_label,
     finish,
+    guard_from_args,
     obs_from_args,
     parse_effort,
     policy_from_args,
@@ -40,6 +41,7 @@ def run(
     cache=None,
     policy: FaultPolicy | None = None,
     obs=None,
+    guard=None,
     topology: str = "mesh",
 ) -> FigureResult:
     """One row per (pattern, scheme) with the average APL reduction vs RO_RR.
@@ -60,7 +62,7 @@ def run(
         for key in ("RO_RR",) + tuple(schemes)
     ]
     results, report = run_cells_detailed(
-        cells, jobs=jobs, cache=cache, policy=policy, obs=obs
+        cells, jobs=jobs, cache=cache, policy=policy, obs=obs, guard=guard
     )
     it = iter(results)
     rows = []
@@ -117,6 +119,7 @@ def main(argv=None) -> int:
         cache=args.cache,
         policy=policy_from_args(args),
         obs=obs_from_args(args),
+        guard=guard_from_args(args),
         topology=args.topology,
     )
     return finish(result)

@@ -19,6 +19,7 @@ from repro.experiments.report import (
     effort_argparser,
     failed_label,
     finish,
+    guard_from_args,
     obs_from_args,
     parse_effort,
     policy_from_args,
@@ -40,6 +41,7 @@ def run(
     cache=None,
     policy: FaultPolicy | None = None,
     obs=None,
+    guard=None,
     topology: str = "mesh",
 ) -> FigureResult:
     """One row per scheme with per-app and average slowdowns.
@@ -63,7 +65,7 @@ def run(
         for scenario in (clean, attacked)
     ]
     results, report = run_cells_detailed(
-        cells, jobs=jobs, cache=cache, policy=policy, obs=obs
+        cells, jobs=jobs, cache=cache, policy=policy, obs=obs, guard=guard
     )
     it = iter(results)
     slow_cols = [f"slow_{name[:6]}" for name in PARSEC_APP_ORDER]
@@ -128,6 +130,7 @@ def main(argv=None) -> int:
         cache=args.cache,
         policy=policy_from_args(args),
         obs=obs_from_args(args),
+        guard=guard_from_args(args),
         topology=args.topology,
     )
     return finish(result)

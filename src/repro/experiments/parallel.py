@@ -271,16 +271,20 @@ def cell_obs_name(cell: Cell) -> str:
 
 
 def compute_cell(
-    cell: Cell, cycle_budget: int | None = None, obs=None
+    cell: Cell, cycle_budget: int | None = None, obs=None, guard=None
 ) -> ScenarioRun:
     """Simulate one cell from scratch (no cache involvement).
 
     ``obs`` is an optional :class:`repro.obs.ObsConfig`; an unset name is
     filled with :func:`cell_obs_name` so concurrent cells never collide
-    on an output file.
+    on an output file. ``guard`` is an optional
+    :class:`repro.noc.guard.GuardConfig`, named the same way (its
+    blackbox file rides next to the cell's obs stream).
     """
     if obs is not None and obs.name is None:
         obs = obs.named(cell_obs_name(cell))
+    if guard is not None and guard.name is None:
+        guard = guard.named(cell_obs_name(cell))
     return run_scenario(
         cell.scheme,
         cell.spec.build(),
@@ -290,6 +294,7 @@ def compute_cell(
         policy_overrides=cell.policy_overrides,
         cycle_budget=cycle_budget,
         obs=obs,
+        guard=guard,
     )
 
 
@@ -298,6 +303,7 @@ def _execute(
     cache_dir: str | None,
     cycle_budget: int | None = None,
     obs=None,
+    guard=None,
 ) -> tuple[ScenarioRun, bool, int]:
     """Cache-aware cell execution; runs in-process or inside a worker.
 
@@ -309,10 +315,11 @@ def _execute(
     cell key, and a truncated run must not be served to callers running
     under a larger (or no) budget. ``obs`` is likewise execution policy
     (never part of the key): a hit restores whatever summary the original
-    run stored — possibly none — and regenerates no JSONL.
+    run stored — possibly none — and regenerates no JSONL. ``guard``
+    follows the same rule: execution policy, never part of the key.
     """
     if cache_dir is None:
-        return compute_cell(cell, cycle_budget, obs), False, 0
+        return compute_cell(cell, cycle_budget, obs, guard), False, 0
     cache_errors = 0
     cache = ResultCache(cache_dir)
     key = cache_key(cell)
@@ -325,7 +332,7 @@ def _execute(
         if run.metrics is not None:
             run.metrics.cache_hit = True
         return run, True, cache_errors
-    run = compute_cell(cell, cycle_budget, obs)
+    run = compute_cell(cell, cycle_budget, obs, guard)
     if run.abort != "deadline":
         try:
             cache.put(key, run)
@@ -334,7 +341,9 @@ def _execute(
     return run, False, cache_errors
 
 
-def _worker(cell: Cell, cache_dir: str | None, cycle_budget: int | None, obs=None):
+def _worker(
+    cell: Cell, cache_dir: str | None, cycle_budget: int | None, obs=None, guard=None
+):
     """Pool entry point: tagged-tuple transport instead of raising.
 
     Exceptions are flattened to ``("err", type, message, traceback,
@@ -345,12 +354,13 @@ def _worker(cell: Cell, cache_dir: str | None, cycle_budget: int | None, obs=Non
     the pickled run.
     """
     try:
-        run, hit, cache_errors = _execute(cell, cache_dir, cycle_budget, obs)
+        run, hit, cache_errors = _execute(cell, cache_dir, cycle_budget, obs, guard)
         return ("ok", run, hit, cache_errors)
     except Exception as exc:
         return (
             "err",
-            type(exc).__name__,
+            # A guard-classified failure renders as FAILED(Deadlock) etc.
+            getattr(exc, "failure_label", type(exc).__name__),
             str(exc),
             _tb.format_exc(),
             classify_exception(exc),
@@ -435,11 +445,19 @@ class _Pending:
 class _Sweep:
     """Shared state + recording helpers for one run_cells_detailed call."""
 
-    def __init__(self, policy: FaultPolicy, report: ExecutionReport, journal, obs=None):
+    def __init__(
+        self,
+        policy: FaultPolicy,
+        report: ExecutionReport,
+        journal,
+        obs=None,
+        guard=None,
+    ):
         self.policy = policy
         self.report = report
         self.journal = journal
         self.obs = obs
+        self.guard = guard
         self.results: dict[int, CellResult] = {}
 
     def record_ok(self, entry: _Pending, run: ScenarioRun, hit: bool, cerr: int):
@@ -503,7 +521,7 @@ def _run_serial(work: list[_Pending], cache_dir, sweep: _Sweep) -> None:
         while True:
             try:
                 run, hit, cerr = _execute(
-                    entry.cell, cache_dir, policy.cycle_budget, sweep.obs
+                    entry.cell, cache_dir, policy.cycle_budget, sweep.obs, sweep.guard
                 )
             except Exception as exc:
                 entry.attempts += 1
@@ -514,7 +532,7 @@ def _run_serial(work: list[_Pending], cache_dir, sweep: _Sweep) -> None:
                     continue
                 sweep.record_failure(
                     entry,
-                    type(exc).__name__,
+                    getattr(exc, "failure_label", type(exc).__name__),
                     str(exc),
                     _tb.format_exc(),
                     retryable,
@@ -598,7 +616,8 @@ def _run_parallel(work: list[_Pending], jobs: int, cache_dir, sweep: _Sweep) -> 
                 if entry.started_at == 0.0:
                     entry.started_at = now
                 fut = pool.submit(
-                    _worker, entry.cell, cache_dir, policy.cycle_budget, sweep.obs
+                    _worker, entry.cell, cache_dir, policy.cycle_budget,
+                    sweep.obs, sweep.guard,
                 )
                 deadline = (
                     now + policy.wall_timeout_s if policy.wall_timeout_s else None
@@ -716,6 +735,7 @@ def run_cells_detailed(
     policy: FaultPolicy | None = None,
     use_journal: bool = True,
     obs=None,
+    guard=None,
 ) -> tuple[list[CellResult], ExecutionReport]:
     """Execute ``cells`` fault-tolerantly; one :class:`CellResult` each.
 
@@ -731,7 +751,12 @@ def run_cells_detailed(
     calls skip it automatically). ``obs`` is an optional
     :class:`repro.obs.ObsConfig` applied to every simulated cell (cells
     restored from cache or journal keep whatever summary was stored with
-    them); it is execution policy and never affects cache keys.
+    them); it is execution policy and never affects cache keys. ``guard``
+    is an optional :class:`repro.noc.guard.GuardConfig` applied the same
+    way — a guard-tripped cell surfaces as a failure whose ``error_type``
+    is the guard's classified label (``Deadlock``, ``Livelock``, ...), so
+    figure tables print ``FAILED(Deadlock)`` instead of a generic
+    simulator error.
     """
     cells = list(cells)
     if jobs < 1:
@@ -786,7 +811,7 @@ def run_cells_detailed(
                 # runs are never cached) — fall through and re-run
             work.append(_Pending(index=i, cell=cell, key=key))
 
-    sweep = _Sweep(policy, report, journal, obs=obs)
+    sweep = _Sweep(policy, report, journal, obs=obs, guard=guard)
     for res in resumed:
         sweep.results[res.index] = res
 
@@ -807,6 +832,7 @@ def run_cells(
     cache=None,
     policy: FaultPolicy | None = None,
     obs=None,
+    guard=None,
 ) -> tuple[list[ScenarioRun], ExecutionReport]:
     """Strict variant: execute ``cells`` and raise on any cell failure.
 
@@ -820,7 +846,7 @@ def run_cells(
     """
     cells = list(cells)
     results, report = run_cells_detailed(
-        cells, jobs=jobs, cache=cache, policy=policy, obs=obs
+        cells, jobs=jobs, cache=cache, policy=policy, obs=obs, guard=guard
     )
     for res in results:
         if res.failure is not None:

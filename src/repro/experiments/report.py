@@ -12,6 +12,7 @@ missing" apart from "the tool is broken".
 from __future__ import annotations
 
 import argparse
+import os
 
 from repro.experiments.parallel import CellResult, FaultPolicy
 from repro.experiments.runner import Effort
@@ -24,9 +25,11 @@ __all__ = [
     "parse_effort",
     "policy_from_args",
     "obs_from_args",
+    "guard_from_args",
     "config_for_topology",
     "failed_label",
     "finish",
+    "write_text_atomic",
 ]
 
 #: process exit code when one or more cells failed but the (partial)
@@ -118,6 +121,16 @@ def effort_argparser(description: str) -> argparse.ArgumentParser:
         help="cycles between observability samples (default 64; "
         "requires --obs)",
     )
+    parser.add_argument(
+        "--guard",
+        default="off",
+        choices=("off", "sample", "strict"),
+        help="runtime invariant guard: 'sample' checks conservation "
+        "invariants periodically, 'strict' checks often with a deeper "
+        "crash blackbox; either classifies stalls as "
+        "deadlock/livelock/starvation with forensics (default off — "
+        "zero overhead, bit-identical results either way)",
+    )
     return parser
 
 
@@ -143,6 +156,35 @@ def obs_from_args(args: argparse.Namespace):
     from repro.obs.collector import ObsConfig
 
     return ObsConfig(dir=obs_dir, sample_period=getattr(args, "obs_sample_period", 64))
+
+
+def guard_from_args(args: argparse.Namespace):
+    """Build the :class:`repro.noc.guard.GuardConfig` ``--guard`` describes.
+
+    Returns ``None`` when the guard is off (the overhead-free default).
+    Blackboxes land next to the obs streams when ``--obs`` was given,
+    otherwise they stay in memory on the raised error. Imported lazily,
+    mirroring :func:`obs_from_args`.
+    """
+    mode = getattr(args, "guard", "off")
+    if mode in (None, "off"):
+        return None
+    from repro.noc.guard import GuardConfig
+
+    return GuardConfig(mode=mode, dir=getattr(args, "obs", None))
+
+
+def write_text_atomic(path, text: str) -> None:
+    """Write ``text`` to ``path`` atomically (temp file + ``os.replace``).
+
+    A crash or kill mid-write leaves either the previous file or the new
+    one, never a truncated hybrid — the same contract the obs exporters
+    give their JSONL streams. ``path`` is a ``str`` or ``Path``.
+    """
+    tmp = f"{path}.tmp"
+    with open(tmp, "w", encoding="utf-8") as fh:
+        fh.write(text)
+    os.replace(tmp, path)
 
 
 def config_for_topology(topology: str | None, **kwargs):

@@ -37,7 +37,13 @@ from repro.experiments import (
     table1,
 )
 from repro.experiments.parallel import FaultPolicy
-from repro.experiments.report import EXIT_CELL_FAILURE, obs_from_args, parse_effort
+from repro.experiments.report import (
+    EXIT_CELL_FAILURE,
+    guard_from_args,
+    obs_from_args,
+    parse_effort,
+    write_text_atomic,
+)
 from repro.noc.topology import TOPOLOGY_KINDS
 
 __all__ = ["main", "EXPERIMENTS"]
@@ -101,9 +107,17 @@ def main(argv=None) -> int:
         help="fabric for every simulated experiment: mesh (default), torus, "
         "or ring (table1 is config-independent and unaffected)",
     )
+    parser.add_argument(
+        "--guard", default="off", choices=("off", "sample", "strict"),
+        help="runtime invariant guard for every simulated cell: classifies "
+        "stalls (deadlock/livelock/starvation) and checks conservation "
+        "invariants, dumping a crash blackbox next to the obs streams "
+        "(default off)",
+    )
     args = parser.parse_args(argv)
     effort = parse_effort(args.effort)
     obs = obs_from_args(args)
+    guard = guard_from_args(args)
     policy = FaultPolicy(
         max_attempts=args.max_attempts,
         wall_timeout_s=args.timeout,
@@ -129,7 +143,7 @@ def main(argv=None) -> int:
                 result = module.run(
                     effort=effort, seed=args.seed, jobs=args.jobs,
                     cache=args.cache, policy=policy, obs=obs,
-                    topology=args.topology,
+                    guard=guard, topology=args.topology,
                 )
         except Exception as exc:
             # A cell failure never raises (it renders as a FAILED row);
@@ -139,7 +153,7 @@ def main(argv=None) -> int:
             errors += 1
             text = f"{name}: ERROR {type(exc).__name__}: {exc}"
             print(f"\n{text}\n[{name}: {elapsed:.1f}s]")
-            (out / f"{name}.txt").write_text(text + "\n")
+            write_text_atomic(out / f"{name}.txt", text + "\n")
             summary.append(f"{name}: ERROR {type(exc).__name__}, {elapsed:.1f}s")
             continue
         elapsed = time.perf_counter() - start
@@ -149,7 +163,7 @@ def main(argv=None) -> int:
         failures += exp_failures
         text = result.format_table()
         print(f"\n{text}\n[{name}: {elapsed:.1f}s]")
-        (out / f"{name}.txt").write_text(text + "\n")
+        write_text_atomic(out / f"{name}.txt", text + "\n")
         line = f"{name}: {len(result.rows)} rows, {elapsed:.1f}s"
         if exp_failures:
             line += f", {exp_failures} FAILED cell(s)"
@@ -160,7 +174,7 @@ def main(argv=None) -> int:
         header += f" cache_hits={hits} cache_misses={misses}"
     if failures or errors:
         header += f" failures={failures} errors={errors}"
-    (out / "summary.txt").write_text(header + "\n" + "\n".join(summary) + "\n")
+    write_text_atomic(out / "summary.txt", header + "\n" + "\n".join(summary) + "\n")
     print(f"\nwrote {len(names)} experiment reports to {out}/")
     if failures or errors:
         print(

@@ -112,7 +112,8 @@ class ScenarioRun:
     per_app_apl: dict[int, float]
     end_cycle: int
     packets_measured: int
-    #: None (clean) | "watchdog" | "drain_limit" (see MeasurementResult)
+    #: None (clean) | "watchdog" | "drain_limit" | a guard reason token
+    #: such as "deadlock" (see MeasurementResult)
     abort: str | None = None
     #: wall-clock counters; excluded from comparisons — two runs of the
     #: same cell are *simulation*-identical, never timing-identical
@@ -161,6 +162,7 @@ def run_scenario(
     cache=None,
     cycle_budget: int | None = None,
     obs=None,
+    guard=None,
 ) -> ScenarioRun:
     """Simulate ``scenario`` under ``scheme`` and summarize.
 
@@ -178,8 +180,18 @@ def run_scenario(
     policy — that installs a metrics collector on the run; the resulting
     :class:`repro.obs.ObsSummary` lands on :attr:`ScenarioRun.obs`. Note
     a cache hit restores the summary stored with the original run (and
-    does not regenerate its JSONL stream).
+    does not regenerate its JSONL stream). ``guard`` is an optional
+    :class:`repro.noc.guard.GuardConfig` — execution policy as well,
+    since a guarded run is bit-identical to an unguarded one — that
+    installs a :class:`~repro.noc.guard.RuntimeGuard` on the run; when
+    ``None``, the ``REPRO_GUARD`` environment (see
+    :meth:`~repro.noc.guard.GuardConfig.from_env`) decides, so workers
+    and CI lanes can arm whole sweeps externally.
     """
+    if guard is None:
+        from repro.noc.guard import GuardConfig
+
+        guard = GuardConfig.from_env()
     if cache is not None and getattr(scenario, "spec", None) is not None:
         # Late import: parallel imports this module.
         from repro.experiments.parallel import Cell, FaultPolicy, run_cells
@@ -195,7 +207,7 @@ def run_scenario(
         runs, _ = run_cells(
             [cell], jobs=1, cache=cache,
             policy=FaultPolicy(cycle_budget=cycle_budget),
-            obs=obs,
+            obs=obs, guard=guard,
         )
         return runs[0]
     cfg = config or scenario.config
@@ -214,6 +226,14 @@ def run_scenario(
 
         MetricsCollector(
             obs.named(f"{scheme.key}_{scenario.name}_s{seed}")
+        ).install(sim)
+    if guard is not None and guard.mode != "off":
+        from repro.noc.guard import RuntimeGuard
+
+        # After the collector: the guard tees its ring *behind* an
+        # existing tracer, so the obs stream stays byte-identical.
+        RuntimeGuard(
+            guard.named(f"{scheme.key}_{scenario.name}_s{seed}")
         ).install(sim)
     for source in scenario.traffic_factory(seed):
         sim.add_traffic(source)

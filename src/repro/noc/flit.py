@@ -211,3 +211,12 @@ class PacketPool:
         pkt.in_pool = True
         if len(self._free) < self.max_size:
             self._free.append(pkt)
+
+    def free_packets(self) -> tuple[Packet, ...]:
+        """Snapshot of the free list (for the guard's pool-safety check).
+
+        Every packet here must carry ``in_pool=True`` — a free-list entry
+        with the flag clear means something re-initialised a pooled object
+        without drawing it through :meth:`alloc`.
+        """
+        return tuple(self._free)

@@ -144,6 +144,11 @@ class Network:
         self.eject_callbacks: list = []
         self.flits_moved = 0
         self.packets_in_flight = 0
+        # Packets fully ejected into a local NI since construction. The
+        # simulator's ejection watchdog diffs this against its own mark to
+        # catch livelock (flits moving, nothing ever ejecting) — a blind
+        # spot of the flit-movement watchdog.
+        self.packets_ejected = 0
         # Running total of flits buffered chip-wide (== sum(occupancy),
         # maintained incrementally so the per-cycle watchdog check is O(1)).
         self.buffered_total = 0
@@ -434,6 +439,7 @@ class Network:
                 eject_cycle = cycle + 1  # link traversal into the NI
                 self.stats.record_ejection(pkt, eject_cycle)
                 self.packets_in_flight -= 1
+                self.packets_ejected += 1
                 w = self.measure_window
                 if w is not None and w[0] <= pkt.inject_cycle < w[1]:
                     self.window_ejected += 1
@@ -538,3 +544,24 @@ class Network:
     def total_buffered_flits(self) -> int:
         """Flits buffered across the whole chip (cross-check vs occupancy)."""
         return sum(self.occupancy)
+
+    def scheduled_arrivals(self) -> list[tuple[int, int, int, int, object]]:
+        """Snapshot of in-flight flit deliveries as ``(cycle, node, port, vc, pkt)``.
+
+        ``pkt`` is the packet object for head flits and ``None`` for body
+        flits. Read-only view for the guard's conservation scans — the
+        event queues themselves stay private to the kernel.
+        """
+        return [
+            (cyc, node, port, vc, pkt)
+            for cyc, lst in self._arrivals.items()
+            for (node, port, vc, pkt) in lst
+        ]
+
+    def scheduled_credits(self) -> list[tuple[int, int, int, int]]:
+        """Snapshot of in-flight credit returns as ``(cycle, node, port, vc)``."""
+        return [
+            (cyc, node, port, vc)
+            for cyc, lst in self._credits.items()
+            for (node, port, vc) in lst
+        ]

@@ -30,7 +30,7 @@ from dataclasses import dataclass, field
 from repro.arbitration.base import ArbitrationPolicy
 from repro.noc.network import Network
 from repro.noc.stats import RunMetrics
-from repro.util.errors import ConfigError, DeadlineError, SimulationError
+from repro.util.errors import ConfigError, DeadlineError, GuardError, SimulationError
 
 __all__ = ["Simulator", "MeasurementResult"]
 
@@ -40,12 +40,18 @@ class MeasurementResult:
     """Outcome of one warmup/measure/drain run.
 
     ``abort`` distinguishes *why* a run failed to drain: ``"watchdog"``
-    means the deadlock/livelock watchdog fired during the drain phase (no
-    flit moved for :attr:`Simulator.WATCHDOG_CYCLES` cycles — the leftover
-    packets are stuck, not merely slow), ``"drain_limit"`` means the drain
-    budget ran out while flits were still moving, ``"deadline"`` means the
-    caller's cooperative cycle budget (:attr:`Simulator.deadline_cycle`)
-    expired mid-drain, and ``None`` means a clean run.
+    means the stall watchdog fired during the drain phase with no runtime
+    guard installed (no flit moved for :attr:`Simulator.WATCHDOG_CYCLES`
+    cycles — the leftover packets are stuck, not merely slow),
+    ``"drain_limit"`` means the drain budget ran out while flits were
+    still moving, ``"deadline"`` means the caller's cooperative cycle
+    budget (:attr:`Simulator.deadline_cycle`) expired mid-drain, and
+    ``None`` means a clean run. When a
+    :class:`~repro.noc.guard.RuntimeGuard` is installed, a drain-phase
+    trip instead carries the guard's classified reason — ``"deadlock"``,
+    ``"livelock"``, ``"starvation"``, or one of the conservation tokens
+    (``"credit_conservation"`` / ``"flit_conservation"`` /
+    ``"packet_conservation"`` / ``"pool_safety"`` / ``"dateline"``).
     ``undrained_packets`` alone cannot tell these apart.
     """
 
@@ -56,7 +62,8 @@ class MeasurementResult:
     drained: bool
     #: packets injected in the window that never ejected before drain_limit
     undrained_packets: int
-    #: None (clean) | "watchdog" | "drain_limit" | "deadline"
+    #: None (clean) | "watchdog" | "drain_limit" | "deadline" | a guard
+    #: reason token (see class docstring)
     abort: str | None = None
     #: wall-clock / cycle counters for this run
     metrics: RunMetrics = field(default_factory=RunMetrics)
@@ -70,8 +77,15 @@ class Simulator:
     """Drives a :class:`~repro.noc.network.Network` cycle by cycle."""
 
     #: cycles without any flit movement (while flits are buffered) that
-    #: trigger the deadlock/livelock watchdog
+    #: trigger the stall watchdog
     WATCHDOG_CYCLES = 5000
+    #: cycles without any packet *ejection* (while packets are in flight)
+    #: that trigger the ejection watchdog. Tracked separately from flit
+    #: movement: a livelocked network keeps moving flits forever — e.g.
+    #: packets circling without ever reaching LOCAL — and is invisible to
+    #: the movement watchdog. Deliberately larger than WATCHDOG_CYCLES so
+    #: a full stall is classified by the movement watchdog first.
+    EJECT_WATCHDOG_CYCLES = 10_000
 
     def __init__(
         self,
@@ -91,7 +105,15 @@ class Simulator:
         self.fast_forward = bool(fast_forward)
         self._last_moved = 0
         self._last_progress_cycle = 0
+        self._last_ejected = 0
+        self._last_eject_cycle = 0
         self.metrics = RunMetrics()
+        #: optional runtime invariant guard (duck-typed — anything with
+        #: ``next_check`` / ``check(cycle, network)`` /
+        #: ``on_stall(cycle, network, trip)``; see
+        #: :class:`repro.noc.guard.RuntimeGuard`, whose ``install`` sets
+        #: this). ``None`` costs one pointer comparison per cycle.
+        self.guard = None
         #: optional observability collector (duck-typed — anything with
         #: ``next_sample`` / ``take_sample(cycle, network)`` /
         #: ``finalize(end_cycle)``; see
@@ -127,6 +149,9 @@ class Simulator:
         obs = self.obs
         if obs is not None and cycle >= obs.next_sample:
             obs.take_sample(cycle, net)
+        guard = self.guard
+        if guard is not None and cycle >= guard.next_check:
+            guard.check(cycle, net)
         self._watchdog(cycle)
         self.cycle = cycle + 1
 
@@ -220,9 +245,13 @@ class Simulator:
                     net.skip_idle_cycles(cycle, target)
                     net.policy.fast_forward_idle(net, cycle, target)
                     # Watchdog end state of ticking idle cycles naively:
-                    # every one of them resets the progress mark.
+                    # every one of them resets the progress marks (an idle
+                    # network has no packets in flight, so the ejection
+                    # mark resets every cycle too).
                     self._last_moved = net.flits_moved
                     self._last_progress_cycle = target - 1
+                    self._last_ejected = net.packets_ejected
+                    self._last_eject_cycle = target - 1
                     metrics.ff_jumps += 1
                     metrics.ff_cycles_skipped += target - cycle
                     self.cycle = target
@@ -238,19 +267,62 @@ class Simulator:
         return self.network.idle()
 
     def _watchdog(self, cycle: int) -> None:
+        """Two-mark stall watchdog: flit movement and packet ejection.
+
+        The movement mark catches full stalls (nothing moved while flits
+        are buffered). The ejection mark catches livelocks the movement
+        mark is blind to: flits keep moving but no packet ever reaches its
+        destination. Either trip goes to :meth:`_stall`, which hands the
+        forensics to an installed runtime guard or raises the plain
+        :class:`SimulationError` otherwise.
+        """
         net = self.network
+        ejected = net.packets_ejected
+        eject_stalled = ejected == self._last_ejected and net.packets_in_flight
+        if not eject_stalled:
+            self._last_ejected = ejected
+            self._last_eject_cycle = cycle
         moved = net.flits_moved
         if moved != self._last_moved or not net.buffered_total:
             self._last_moved = moved
             self._last_progress_cycle = cycle
+            if (
+                eject_stalled
+                and cycle - self._last_eject_cycle >= self.EJECT_WATCHDOG_CYCLES
+            ):
+                self._stall(cycle, "ejection")
             return
         if cycle - self._last_progress_cycle >= self.WATCHDOG_CYCLES:
-            stuck = [(r.node, r.busy_vcs) for r in net.busy_routers()][:10]
+            self._stall(cycle, "progress")
+
+    def _stall(self, cycle: int, trip: str) -> None:
+        """Report a watchdog trip (``trip``: ``"progress"`` | ``"ejection"``)."""
+        net = self.network
+        guard = self.guard
+        if guard is not None:
+            guard.on_stall(cycle, net, trip)  # classifies; raises GuardError
+            return  # pragma: no cover - on_stall never returns
+        if trip == "ejection":
             raise SimulationError(
-                f"no flit moved for {self.WATCHDOG_CYCLES} cycles at cycle "
-                f"{cycle} with {net.total_buffered_flits()} flits buffered; "
-                f"busy routers (node, busy_vcs): {stuck}"
+                f"no packet ejected for {self.EJECT_WATCHDOG_CYCLES} cycles "
+                f"at cycle {cycle} while flits kept moving — livelock with "
+                f"{net.packets_in_flight} packet(s) in flight"
             )
+        stuck = [(r.node, r.busy_vcs) for r in net.busy_routers()][:10]
+        raise SimulationError(
+            f"no flit moved for {self.WATCHDOG_CYCLES} cycles at cycle "
+            f"{cycle} with {net.total_buffered_flits()} flits buffered; "
+            f"busy routers (node, busy_vcs): {stuck}"
+        )
+
+    def progress_marks(self) -> dict:
+        """Watchdog bookkeeping, for tests and forensics dumps."""
+        return {
+            "last_moved": self._last_moved,
+            "last_progress_cycle": self._last_progress_cycle,
+            "last_ejected": self._last_ejected,
+            "last_eject_cycle": self._last_eject_cycle,
+        }
 
     # -- measurement protocol ----------------------------------------------------------
     def run_measurement(
@@ -302,6 +374,10 @@ class Simulator:
                         abort = "deadline"
                         break
                     self.step()
+            except GuardError as exc:
+                # The guard already classified the stall/violation and
+                # dumped its blackbox; surface the precise reason.
+                abort = exc.reason
             except SimulationError:
                 abort = "watchdog"
             t3 = time.perf_counter()
@@ -311,6 +387,12 @@ class Simulator:
         undrained = net.window_injected - net.window_ejected
         if abort is None and undrained > 0:
             abort = "drain_limit"
+        guard = self.guard
+        if guard is not None and abort is None:
+            # Closing sweep at the measurement boundary, regardless of the
+            # sampling period: a clean run must end conservation-clean. A
+            # violation here propagates (the run's results are suspect).
+            guard.check(self.cycle, net)
         self.metrics.record_phase("warmup", warmup, t1 - t0)
         self.metrics.record_phase("measure", measure, t2 - t1)
         self.metrics.record_phase("drain", self.cycle - drain_start, t3 - t2)

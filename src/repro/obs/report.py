@@ -16,15 +16,55 @@ import sys
 
 from repro.obs.schema import ObsSchemaError, load_jsonl, validate_stream
 
-__all__ = ["main", "render_summary"]
+__all__ = ["main", "render_blackbox", "render_summary"]
 
 
 def _fmt(v) -> str:
     return f"{v:.2f}" if isinstance(v, float) else str(v)
 
 
+def render_blackbox(path: str, records: list[dict], counts: dict) -> str:
+    """Human-readable digest of one validated guard-blackbox stream."""
+    header = records[0]
+    violation = records[-1]
+    lines = [
+        f"{path}",
+        f"  {header['width']}x{header['height']} {header['topology']}, "
+        f"schema v{header['schema']}, guard {header['mode']!r}, "
+        f"run {header['name']!r}",
+        f"  VIOLATION at cycle {violation['cycle']}: {violation['reason']}",
+        f"    {violation['message']}",
+        f"  state: {violation['buffered_total']} flit(s) buffered, "
+        f"{violation['packets_in_flight']} packet(s) in flight, "
+        f"{violation['queued']} queued; "
+        f"{counts.get('router_snapshot', 0)} router snapshot(s)",
+    ]
+    ring = violation["ring"]
+    if ring:
+        lines.append(f"  wait cycle ({len(ring)} VCs):")
+        for hop in ring:
+            lines.append(
+                f"    node {hop['node']} port {hop['port']} vc {hop['vc']} "
+                f"[{hop['state']}, pkt #{hop['pid']} -> {hop['dst']}, "
+                f"esc_cls {hop['escape_class']}]"
+            )
+    events = [r for r in records if r.get("kind") == "guard_event"]
+    if events:
+        by_event: dict[str, int] = {}
+        for rec in events:
+            by_event[rec["event"]] = by_event.get(rec["event"], 0) + 1
+        mix = ", ".join(f"{k}={v}" for k, v in sorted(by_event.items()))
+        lines.append(
+            f"  blackbox: last {len(events)} kernel events "
+            f"(cycles {events[0]['cycle']}..{events[-1]['cycle']}): {mix}"
+        )
+    return "\n".join(lines)
+
+
 def render_summary(path: str, records: list[dict], counts: dict) -> str:
-    """Human-readable digest of one validated stream."""
+    """Human-readable digest of one validated stream (either flavour)."""
+    if records[0].get("kind") == "guard_header":
+        return render_blackbox(path, records, counts)
     header = records[0]
     summary = records[-1]
     lines = [

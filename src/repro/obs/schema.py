@@ -37,6 +37,29 @@ Record kinds (``kind`` → required fields):
     ``cycle`` (int, end of run), ``samples`` / ``events`` /
     ``dpa_flips`` (int), ``link_util`` (object).
 
+A second stream flavour is the runtime guard's *crash blackbox*
+(``<name>_blackbox.jsonl``, written by :mod:`repro.noc.guard` on a
+violation): a ``guard_header`` record, the last-K kernel events as
+``guard_event`` records, per-busy-router ``router_snapshot`` records, and
+a single trailing ``guard_violation``. :func:`validate_stream` detects
+the flavour from the first record.
+
+``guard_header``
+    ``schema`` (int), ``name`` / ``mode`` / ``topology`` (str),
+    ``width`` / ``height`` / ``num_nodes`` / ``depth`` (ring capacity) /
+    ``start_cycle`` (int).
+``guard_event``
+    ``cycle`` (int), ``event`` (str, a :class:`~repro.noc.trace.KernelTrace`
+    method name), ``args`` (list, that event's arguments after the cycle).
+``router_snapshot``
+    ``cycle`` / ``node`` / ``busy_vcs`` / ``ovc_n`` / ``ovc_f`` (int),
+    ``native_high`` (bool), ``vcs`` (list of per-VC objects),
+    ``credits`` / ``owners`` (list of per-port lists).
+``guard_violation``
+    ``cycle`` (int), ``reason`` / ``message`` (str), ``ring`` (list,
+    the wait-graph cycle for deadlocks, else empty), ``buffered_total``
+    / ``packets_in_flight`` / ``queued`` (int).
+
 Schema evolution policy: adding a new record kind or an *optional* field
 is backward-compatible and keeps the version; renaming/removing fields or
 changing semantics bumps :data:`SCHEMA_VERSION`. Validators here reject
@@ -109,6 +132,38 @@ RECORD_KINDS: dict[str, dict[str, tuple]] = {
         "dpa_flips": _INT,
         "link_util": _OBJ,
     },
+    "guard_header": {
+        "schema": _INT,
+        "name": _STR,
+        "mode": _STR,
+        "width": _INT,
+        "height": _INT,
+        "num_nodes": _INT,
+        "topology": _STR,
+        "depth": _INT,
+        "start_cycle": _INT,
+    },
+    "guard_event": {"cycle": _INT, "event": _STR, "args": _LIST},
+    "router_snapshot": {
+        "cycle": _INT,
+        "node": _INT,
+        "busy_vcs": _INT,
+        "native_high": _BOOL,
+        "ovc_n": _INT,
+        "ovc_f": _INT,
+        "vcs": _LIST,
+        "credits": _LIST,
+        "owners": _LIST,
+    },
+    "guard_violation": {
+        "cycle": _INT,
+        "reason": _STR,
+        "message": _STR,
+        "ring": _LIST,
+        "buffered_total": _INT,
+        "packets_in_flight": _INT,
+        "queued": _INT,
+    },
 }
 
 #: latency_class fields required whenever ``count > 0``
@@ -164,14 +219,27 @@ def validate_record(rec: object, lineno: int | None = None) -> str:
     return kind
 
 
+#: kinds whose ``cycle`` must never decrease within a stream
+_TIME_ORDERED = (
+    "dpa_init",
+    "dpa_flip",
+    "vc_sample",
+    "link_sample",
+    "guard_event",
+    "router_snapshot",
+    "guard_violation",
+)
+
+
 def validate_stream(records) -> dict:
     """Validate a full record sequence; returns per-kind counts.
 
     Structural rules beyond per-record validation: the first record is a
-    ``header`` with the current :data:`SCHEMA_VERSION`, exactly one
-    trailing ``summary`` closes the stream, and the ``cycle`` fields of
-    the time-ordered kinds (``dpa_init`` / ``dpa_flip`` / ``vc_sample`` /
-    ``link_sample``) never decrease.
+    ``header`` or ``guard_header`` with the current
+    :data:`SCHEMA_VERSION` (its kind selects the stream flavour), and the
+    ``cycle`` fields of the time-ordered kinds never decrease. An obs
+    stream must close with exactly one trailing ``summary``; a guard
+    blackbox with exactly one trailing ``guard_violation``.
     """
     counts: dict[str, int] = {}
     last_cycle = None
@@ -181,16 +249,16 @@ def validate_stream(records) -> dict:
         kinds.append(kind)
         counts[kind] = counts.get(kind, 0) + 1
         if lineno == 1:
-            if kind != "header":
+            if kind not in ("header", "guard_header"):
                 raise ObsSchemaError(f"stream must start with a header, got {kind!r}")
             if rec["schema"] != SCHEMA_VERSION:
                 raise ObsSchemaError(
                     f"unsupported schema version {rec['schema']} "
                     f"(reader supports {SCHEMA_VERSION})"
                 )
-        elif kind == "header":
+        elif kind in ("header", "guard_header"):
             raise ObsSchemaError(f"duplicate header at line {lineno}")
-        if kind in ("dpa_init", "dpa_flip", "vc_sample", "link_sample"):
+        if kind in _TIME_ORDERED:
             cycle = rec["cycle"]
             if last_cycle is not None and cycle < last_cycle:
                 raise ObsSchemaError(
@@ -200,8 +268,11 @@ def validate_stream(records) -> dict:
             last_cycle = cycle
     if not kinds:
         raise ObsSchemaError("empty stream (no records)")
-    if counts.get("summary", 0) != 1 or kinds[-1] != "summary":
-        raise ObsSchemaError("stream must end with exactly one summary record")
+    terminal = "guard_violation" if kinds[0] == "guard_header" else "summary"
+    if counts.get(terminal, 0) != 1 or kinds[-1] != terminal:
+        raise ObsSchemaError(
+            f"stream must end with exactly one {terminal} record"
+        )
     return counts
 
 

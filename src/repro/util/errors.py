@@ -23,6 +23,43 @@ class SimulationError(ReproError, RuntimeError):
     """
 
 
+class GuardError(SimulationError):
+    """The runtime invariant guard detected and classified a violation.
+
+    Raised by :class:`repro.noc.guard.RuntimeGuard` in place of the plain
+    watchdog :class:`SimulationError`. Subclassing ``SimulationError``
+    keeps the failure non-retryable in the fault-tolerant experiment
+    engine — a guard trip is deterministic for a given cell.
+
+    Attributes
+    ----------
+    reason:
+        Machine token for :attr:`MeasurementResult.abort` — one of
+        ``deadlock`` / ``livelock`` / ``starvation`` /
+        ``credit_conservation`` / ``flit_conservation`` /
+        ``packet_conservation`` / ``pool_safety`` / ``dateline``.
+    failure_label:
+        CamelCase form the experiment layer renders as
+        ``FAILED(<label>)`` (e.g. ``Deadlock``).
+    blackbox_path:
+        Where the crash-blackbox JSONL was written, or ``None`` when the
+        guard had no output directory (the forensics then live only on
+        the guard object / in this message).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        reason: str,
+        label: str | None = None,
+        blackbox_path: str | None = None,
+    ):
+        super().__init__(message)
+        self.reason = reason
+        self.failure_label = label or reason.title().replace("_", "")
+        self.blackbox_path = blackbox_path
+
+
 class DeadlineError(ReproError, RuntimeError):
     """A cooperative cycle budget expired before the run could finish.
 

@@ -68,9 +68,57 @@ def _stream() -> list[dict]:
     ]
 
 
+def _guard_header(**over) -> dict:
+    rec = {
+        "kind": "guard_header",
+        "schema": SCHEMA_VERSION,
+        "name": "test_bb",
+        "mode": "strict",
+        "width": 4,
+        "height": 4,
+        "num_nodes": 16,
+        "topology": "mesh",
+        "depth": 1024,
+        "start_cycle": 0,
+    }
+    rec.update(over)
+    return rec
+
+
+def _violation(**over) -> dict:
+    rec = {
+        "kind": "guard_violation",
+        "cycle": 120,
+        "reason": "deadlock",
+        "message": "channel-wait cycle across 2 VCs",
+        "ring": [],
+        "buffered_total": 8,
+        "packets_in_flight": 2,
+        "queued": 0,
+    }
+    rec.update(over)
+    return rec
+
+
+def _blackbox_stream() -> list[dict]:
+    """A minimal valid guard-blackbox stream (the second flavour)."""
+    return [
+        _guard_header(),
+        {"kind": "guard_event", "cycle": 100, "event": "wake", "args": [3]},
+        {
+            "kind": "router_snapshot", "cycle": 120, "node": 3,
+            "busy_vcs": 2, "native_high": False, "ovc_n": 1, "ovc_f": 1,
+            "vcs": [], "credits": [[5] * 4] * 5, "owners": [[-1] * 4] * 5,
+        },
+        _violation(),
+    ]
+
+
 class TestValidateRecord:
-    def test_every_kind_in_the_minimal_stream_validates(self):
-        kinds = [validate_record(rec) for rec in _stream()]
+    def test_every_kind_in_the_minimal_streams_validates(self):
+        kinds = [
+            validate_record(rec) for rec in _stream() + _blackbox_stream()
+        ]
         assert set(kinds) == set(RECORD_KINDS)
 
     def test_non_object_rejected(self):
@@ -184,6 +232,37 @@ class TestValidateStream:
 
     def test_latency_classes_constant_matches_schema(self):
         assert LATENCY_CLASSES == ("native", "foreign", "global")
+
+    def test_minimal_blackbox_stream_counts(self):
+        counts = validate_stream(_blackbox_stream())
+        assert counts == {
+            "guard_header": 1, "guard_event": 1,
+            "router_snapshot": 1, "guard_violation": 1,
+        }
+
+    def test_blackbox_must_end_with_one_violation(self):
+        truncated = _blackbox_stream()[:-1]
+        with pytest.raises(ObsSchemaError, match="exactly one guard_violation"):
+            validate_stream(truncated)
+        double = _blackbox_stream() + [_violation()]
+        with pytest.raises(ObsSchemaError, match="exactly one guard_violation"):
+            validate_stream(double)
+
+    def test_flavours_do_not_mix(self):
+        # a summary cannot terminate a blackbox stream (unknown terminal),
+        # and a guard_header cannot appear mid-obs-stream.
+        mixed = _stream()
+        mixed.insert(3, _guard_header())
+        with pytest.raises(ObsSchemaError, match="duplicate header"):
+            validate_stream(mixed)
+
+    def test_blackbox_time_ordering_enforced(self):
+        stream = _blackbox_stream()
+        stream.insert(
+            2, {"kind": "guard_event", "cycle": 5, "event": "sleep", "args": [3]}
+        )
+        with pytest.raises(ObsSchemaError, match="cycle went backwards"):
+            validate_stream(stream)
 
 
 class TestLoadJsonl:

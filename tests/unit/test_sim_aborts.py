@@ -43,12 +43,17 @@ class FakeNet:
         self.occupancy = np.array([True])
         # Nonzero so the watchdog sees buffered flits (its O(1) counter).
         self.buffered_total = 1
+        # Ejection-progress mark inputs (the livelock watchdog).
+        self.packets_ejected = ejected
+        self.packets_in_flight = injected - ejected
 
     def refresh_congestion(self, cycle):
         if self._move_until is None or cycle < self._move_until:
             self.flits_moved += 1
         if self._eject_at is not None and cycle >= self._eject_at:
             self.window_ejected = self.window_injected
+            self.packets_ejected = self.window_injected
+            self.packets_in_flight = 0
 
     def deliver_events(self, cycle):
         pass
@@ -105,6 +110,22 @@ class TestAbortReporting:
         sim.WATCHDOG_CYCLES = 10
         with pytest.raises(SimulationError):
             sim.run_measurement(warmup=50, measure=50, drain_limit=100)
+
+    def test_livelock_watchdog_abort_during_drain(self):
+        # The movement watchdog's blind spot: flits keep moving forever
+        # but no packet is ever ejected. The separate ejection mark trips.
+        sim = Simulator(FakeNet(injected=8, ejected=3))  # moves, never ejects
+        sim.EJECT_WATCHDOG_CYCLES = 30
+        res = sim.run_measurement(warmup=5, measure=5, drain_limit=10_000)
+        assert res.abort == "watchdog"
+        assert not res.drained
+        assert res.end_cycle < 10 + 10_000  # the ejection mark cut it short
+
+    def test_livelock_watchdog_raises_during_measurement(self):
+        sim = Simulator(FakeNet(injected=8, ejected=3))
+        sim.EJECT_WATCHDOG_CYCLES = 30
+        with pytest.raises(SimulationError, match="livelock"):
+            sim.run_measurement(warmup=500, measure=500, drain_limit=100)
 
 
 class TestCycleDeadline:
