@@ -24,12 +24,11 @@ Quickstart::
 See ``examples/quickstart.py`` for a complete runnable walk-through.
 """
 
+from repro._version import __version__
 from repro.arbitration import make_policy
 from repro.core import RairPolicy, RegionMap
 from repro.noc import Network, NocConfig, Simulator
 from repro.routing import make_routing
-
-__version__ = "1.0.0"
 
 __all__ = [
     "NocConfig",

@@ -12,14 +12,12 @@ from __future__ import annotations
 from repro.core.dpa import DpaConfig
 from repro.experiments.parallel import Cell, FaultPolicy, run_cells_detailed
 from repro.experiments.report import (
+    common_from_args,
     config_for_topology,
     effort_argparser,
     failed_label,
     finish,
-    guard_from_args,
-    obs_from_args,
     parse_effort,
-    policy_from_args,
 )
 from repro.experiments.runner import SCHEMES, Effort, FigureResult
 from repro.experiments.scenarios import six_app
@@ -39,6 +37,7 @@ def run(
     obs=None,
     guard=None,
     topology: str = "mesh",
+    service=None,
 ) -> FigureResult:
     """One row per hysteresis delta (failed cells render as FAILED rows)."""
     scenario = six_app(config=config_for_topology(topology))
@@ -53,7 +52,8 @@ def run(
         for delta in deltas
     ]
     results, report = run_cells_detailed(
-        cells, jobs=jobs, cache=cache, policy=policy, obs=obs, guard=guard
+        cells, jobs=jobs, cache=cache, policy=policy, obs=obs,
+        guard=guard, service=service,
     )
     base_res, delta_results = results[0], results[1:]
     rows = []
@@ -95,12 +95,7 @@ def main(argv=None) -> int:
     result = run(
         effort=parse_effort(args.effort),
         seed=args.seed,
-        jobs=args.jobs,
-        cache=args.cache,
-        policy=policy_from_args(args),
-        obs=obs_from_args(args),
-        guard=guard_from_args(args),
-        topology=args.topology,
+        **common_from_args(args),
     )
     return finish(result)
 

@@ -13,14 +13,12 @@ from __future__ import annotations
 
 from repro.experiments.parallel import Cell, FaultPolicy, run_cells_detailed
 from repro.experiments.report import (
+    common_from_args,
     config_for_topology,
     effort_argparser,
     failed_label,
     finish,
-    guard_from_args,
-    obs_from_args,
     parse_effort,
-    policy_from_args,
 )
 from repro.experiments.runner import Effort, FigureResult, Scheme
 from repro.experiments.scenarios import two_app_msp
@@ -40,6 +38,7 @@ def run(
     obs=None,
     guard=None,
     topology: str = "mesh",
+    service=None,
 ) -> FigureResult:
     """One row per routing algorithm; reductions are RAIR vs RO_RR.
 
@@ -55,7 +54,8 @@ def run(
         for prefix, policy_name in (("RO_RR", "rr"), ("RAIR", "rair"))
     ]
     results, report = run_cells_detailed(
-        cells, jobs=jobs, cache=cache, policy=policy, obs=obs, guard=guard
+        cells, jobs=jobs, cache=cache, policy=policy, obs=obs,
+        guard=guard, service=service,
     )
     it = iter(results)
     value_cols = ("apl_app0_rr", "apl_app0_rair", "red_app0", "red_app1")
@@ -110,12 +110,7 @@ def main(argv=None) -> int:
     result = run(
         effort=parse_effort(args.effort),
         seed=args.seed,
-        jobs=args.jobs,
-        cache=args.cache,
-        policy=policy_from_args(args),
-        obs=obs_from_args(args),
-        guard=guard_from_args(args),
-        topology=args.topology,
+        **common_from_args(args),
     )
     return finish(result)
 

@@ -17,14 +17,12 @@ from __future__ import annotations
 
 from repro.experiments.parallel import Cell, FaultPolicy, run_cells_detailed
 from repro.experiments.report import (
+    common_from_args,
     config_for_topology,
     effort_argparser,
     failed_label,
     finish,
-    guard_from_args,
-    obs_from_args,
     parse_effort,
-    policy_from_args,
 )
 from repro.experiments.runner import SCHEMES, Effort, FigureResult
 from repro.experiments.scenarios import two_app_msp
@@ -46,6 +44,7 @@ def run(
     obs=None,
     guard=None,
     topology: str = "mesh",
+    service=None,
 ) -> FigureResult:
     """Run the Fig. 10 comparison; one row per (p, scheme).
 
@@ -59,7 +58,8 @@ def run(
         for key in schemes
     ]
     results, report = run_cells_detailed(
-        cells, jobs=jobs, cache=cache, policy=policy, obs=obs, guard=guard
+        cells, jobs=jobs, cache=cache, policy=policy, obs=obs,
+        guard=guard, service=service,
     )
     it = iter(results)
     rows = []
@@ -108,12 +108,7 @@ def main(argv=None) -> int:
     result = run(
         effort=parse_effort(args.effort),
         seed=args.seed,
-        jobs=args.jobs,
-        cache=args.cache,
-        policy=policy_from_args(args),
-        obs=obs_from_args(args),
-        guard=guard_from_args(args),
-        topology=args.topology,
+        **common_from_args(args),
     )
     return finish(result)
 

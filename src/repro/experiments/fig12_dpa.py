@@ -17,14 +17,12 @@ from __future__ import annotations
 
 from repro.experiments.parallel import Cell, FaultPolicy, run_cells_detailed
 from repro.experiments.report import (
+    common_from_args,
     config_for_topology,
     effort_argparser,
     failed_label,
     finish,
-    guard_from_args,
-    obs_from_args,
     parse_effort,
-    policy_from_args,
 )
 from repro.experiments.runner import SCHEMES, Effort, FigureResult
 from repro.experiments.scenarios import four_app_dpa
@@ -45,6 +43,7 @@ def run(
     obs=None,
     guard=None,
     topology: str = "mesh",
+    service=None,
 ) -> FigureResult:
     """Run both Fig. 12 scenarios; rows carry per-app reduction vs RO_RR.
 
@@ -61,7 +60,8 @@ def run(
         for key in ("RO_RR",) + tuple(schemes)
     ]
     results, report = run_cells_detailed(
-        cells, jobs=jobs, cache=cache, policy=policy, obs=obs, guard=guard
+        cells, jobs=jobs, cache=cache, policy=policy, obs=obs,
+        guard=guard, service=service,
     )
     it = iter(results)
     rows = []
@@ -124,12 +124,7 @@ def main(argv=None) -> int:
     result = run(
         effort=parse_effort(args.effort),
         seed=args.seed,
-        jobs=args.jobs,
-        cache=args.cache,
-        policy=policy_from_args(args),
-        obs=obs_from_args(args),
-        guard=guard_from_args(args),
-        topology=args.topology,
+        **common_from_args(args),
     )
     return finish(result)
 

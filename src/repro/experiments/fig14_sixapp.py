@@ -15,14 +15,12 @@ from __future__ import annotations
 
 from repro.experiments.parallel import Cell, FaultPolicy, run_cells_detailed
 from repro.experiments.report import (
+    common_from_args,
     config_for_topology,
     effort_argparser,
     failed_label,
     finish,
-    guard_from_args,
-    obs_from_args,
     parse_effort,
-    policy_from_args,
 )
 from repro.experiments.runner import SCHEMES, Effort, FigureResult
 from repro.experiments.scenarios import six_app
@@ -43,6 +41,7 @@ def run(
     obs=None,
     guard=None,
     topology: str = "mesh",
+    service=None,
 ) -> FigureResult:
     """Run the six-app comparison; rows carry per-app APL reduction vs RO_RR.
 
@@ -57,7 +56,8 @@ def run(
         for key in ("RO_RR",) + tuple(schemes)
     ]
     results, report = run_cells_detailed(
-        cells, jobs=jobs, cache=cache, policy=policy, obs=obs, guard=guard
+        cells, jobs=jobs, cache=cache, policy=policy, obs=obs,
+        guard=guard, service=service,
     )
     base_res, scheme_results = results[0], results[1:]
     apps = sorted(base_res.run.per_app_apl) if base_res.ok else list(range(6))
@@ -109,12 +109,7 @@ def main(argv=None) -> int:
     result = run(
         effort=parse_effort(args.effort),
         seed=args.seed,
-        jobs=args.jobs,
-        cache=args.cache,
-        policy=policy_from_args(args),
-        obs=obs_from_args(args),
-        guard=guard_from_args(args),
-        topology=args.topology,
+        **common_from_args(args),
     )
     return finish(result)
 

@@ -452,24 +452,33 @@ class _Sweep:
         journal,
         obs=None,
         guard=None,
+        on_result=None,
     ):
         self.policy = policy
         self.report = report
         self.journal = journal
         self.obs = obs
         self.guard = guard
+        self.on_result = on_result
         self.results: dict[int, CellResult] = {}
+
+    def _store(self, result: CellResult) -> None:
+        self.results[result.index] = result
+        if self.on_result is not None:
+            self.on_result(result)
 
     def record_ok(self, entry: _Pending, run: ScenarioRun, hit: bool, cerr: int):
         attempts = entry.tries + 1
         if run.metrics is not None:
             run.metrics.attempts = attempts
-        self.results[entry.index] = CellResult(
-            cell=entry.cell,
-            index=entry.index,
-            run=run,
-            attempts=attempts,
-            cache_hit=hit,
+        self._store(
+            CellResult(
+                cell=entry.cell,
+                index=entry.index,
+                run=run,
+                attempts=attempts,
+                cache_hit=hit,
+            )
         )
         self.report.cache_errors += cerr
         if hit:
@@ -489,19 +498,21 @@ class _Sweep:
         wall_time_s: float,
         exception: BaseException | None = None,
     ):
-        self.results[entry.index] = CellResult(
-            cell=entry.cell,
-            index=entry.index,
-            failure=CellFailure(
-                error_type=error_type,
-                message=message,
-                traceback=traceback_text,
+        self._store(
+            CellResult(
+                cell=entry.cell,
+                index=entry.index,
+                failure=CellFailure(
+                    error_type=error_type,
+                    message=message,
+                    traceback=traceback_text,
+                    attempts=max(1, entry.tries),
+                    wall_time_s=wall_time_s,
+                    retryable=retryable,
+                    exception=exception,
+                ),
                 attempts=max(1, entry.tries),
-                wall_time_s=wall_time_s,
-                retryable=retryable,
-                exception=exception,
-            ),
-            attempts=max(1, entry.tries),
+            )
         )
         self.report.failures += 1
 
@@ -736,6 +747,8 @@ def run_cells_detailed(
     use_journal: bool = True,
     obs=None,
     guard=None,
+    service=None,
+    on_result=None,
 ) -> tuple[list[CellResult], ExecutionReport]:
     """Execute ``cells`` fault-tolerantly; one :class:`CellResult` each.
 
@@ -757,10 +770,34 @@ def run_cells_detailed(
     is the guard's classified label (``Deadlock``, ``Livelock``, ...), so
     figure tables print ``FAILED(Deadlock)`` instead of a generic
     simulator error.
+
+    ``service`` routes the whole sweep through a running sweep-service
+    daemon (:mod:`repro.service`) instead of executing locally: a URL
+    string or :class:`repro.service.client.ServiceSpec` (which adds a
+    priority class). The daemon executes this very function with the
+    same cells, policy, cache, obs, and guard, so results — including
+    cache keys and obs JSONL bytes — are identical to direct execution.
+    ``on_result`` is an optional callable invoked with each
+    :class:`CellResult` as it is recorded (completion order, resumed
+    cells first); it must not raise.
     """
     cells = list(cells)
     if jobs < 1:
         raise ConfigError(f"jobs must be >= 1, got {jobs}")
+    if service is not None:
+        from repro.service.client import run_cells_via_service
+
+        return run_cells_via_service(
+            service,
+            cells,
+            jobs=jobs,
+            cache=cache,
+            policy=policy,
+            use_journal=use_journal,
+            obs=obs,
+            guard=guard,
+            on_result=on_result,
+        )
     policy = policy or FaultPolicy()
     if isinstance(cache, ResultCache):
         cache_dir = str(cache.root)
@@ -811,9 +848,9 @@ def run_cells_detailed(
                 # runs are never cached) — fall through and re-run
             work.append(_Pending(index=i, cell=cell, key=key))
 
-    sweep = _Sweep(policy, report, journal, obs=obs, guard=guard)
+    sweep = _Sweep(policy, report, journal, obs=obs, guard=guard, on_result=on_result)
     for res in resumed:
-        sweep.results[res.index] = res
+        sweep._store(res)
 
     if work:
         if jobs == 1 or len(work) == 1:

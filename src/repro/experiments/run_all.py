@@ -36,15 +36,13 @@ from repro.experiments import (
     fig17_parsec,
     table1,
 )
-from repro.experiments.parallel import FaultPolicy
 from repro.experiments.report import (
     EXIT_CELL_FAILURE,
-    guard_from_args,
-    obs_from_args,
+    add_common_args,
+    common_from_args,
     parse_effort,
     write_text_atomic,
 )
-from repro.noc.topology import TOPOLOGY_KINDS
 
 __all__ = ["main", "EXPERIMENTS"]
 
@@ -64,65 +62,15 @@ EXPERIMENTS = {
 
 
 def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--effort", default="medium")
-    parser.add_argument("--seed", type=int, default=42)
+    parser = add_common_args(argparse.ArgumentParser(description=__doc__))
     parser.add_argument("--out", default="results")
     parser.add_argument(
         "--only", nargs="*", default=None,
         help=f"subset of experiments to run; known: {sorted(EXPERIMENTS)}",
     )
-    parser.add_argument(
-        "--jobs", type=int, default=1,
-        help="worker processes per experiment (default 1 = serial)",
-    )
-    parser.add_argument(
-        "--cache", default=None, metavar="DIR",
-        help="result-cache directory shared across experiments and runs; "
-        "also enables per-sweep journals so an interrupted run resumes",
-    )
-    parser.add_argument(
-        "--max-attempts", type=int, default=3,
-        help="attempts per cell for transient failures (default 3)",
-    )
-    parser.add_argument(
-        "--timeout", type=float, default=None, metavar="SECONDS",
-        help="wall-clock budget per cell (jobs>1 only)",
-    )
-    parser.add_argument(
-        "--cycle-budget", type=int, default=None, metavar="CYCLES",
-        help="cooperative simulated-cycle budget per cell",
-    )
-    parser.add_argument(
-        "--obs", default=None, metavar="DIR",
-        help="record observability streams, one JSONL file per simulated "
-        "cell, in DIR (table1 computes no cells and is unaffected)",
-    )
-    parser.add_argument(
-        "--obs-sample-period", type=int, default=64, metavar="CYCLES",
-        help="cycles between observability samples (default 64)",
-    )
-    parser.add_argument(
-        "--topology", default="mesh", choices=TOPOLOGY_KINDS,
-        help="fabric for every simulated experiment: mesh (default), torus, "
-        "or ring (table1 is config-independent and unaffected)",
-    )
-    parser.add_argument(
-        "--guard", default="off", choices=("off", "sample", "strict"),
-        help="runtime invariant guard for every simulated cell: classifies "
-        "stalls (deadlock/livelock/starvation) and checks conservation "
-        "invariants, dumping a crash blackbox next to the obs streams "
-        "(default off)",
-    )
     args = parser.parse_args(argv)
     effort = parse_effort(args.effort)
-    obs = obs_from_args(args)
-    guard = guard_from_args(args)
-    policy = FaultPolicy(
-        max_attempts=args.max_attempts,
-        wall_timeout_s=args.timeout,
-        cycle_budget=args.cycle_budget,
-    )
+    common = common_from_args(args)
     out = pathlib.Path(args.out)
     out.mkdir(parents=True, exist_ok=True)
 
@@ -140,11 +88,7 @@ def main(argv=None) -> int:
             if name == "table1":
                 result = module.run()
             else:
-                result = module.run(
-                    effort=effort, seed=args.seed, jobs=args.jobs,
-                    cache=args.cache, policy=policy, obs=obs,
-                    guard=guard, topology=args.topology,
-                )
+                result = module.run(effort=effort, seed=args.seed, **common)
         except Exception as exc:
             # A cell failure never raises (it renders as a FAILED row);
             # reaching here means the experiment module itself broke.

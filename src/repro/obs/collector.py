@@ -203,6 +203,8 @@ class MetricsCollector(KernelTrace):
         self._prev_link = net.link_flit_counts()
         self._install_link = [row[:] for row in self._prev_link]
         cfg = net.config
+        from repro._version import __version__, git_revision
+
         self._records.append(
             {
                 "kind": "header",
@@ -213,6 +215,10 @@ class MetricsCollector(KernelTrace):
                 "num_nodes": net.topology.num_nodes,
                 "sample_period": period,
                 "start_cycle": sim.cycle,
+                # provenance stamp: optional additive fields, so no schema
+                # version bump (validators ignore unknown fields)
+                "repro_version": __version__,
+                "git_rev": git_revision() or "",
             }
         )
         self._records.append(

@@ -11,7 +11,9 @@ Record kinds (``kind`` → required fields):
 ``header``
     ``schema`` (int, == :data:`SCHEMA_VERSION`), ``name`` (str),
     ``width`` / ``height`` / ``num_nodes`` (int), ``sample_period``
-    (int), ``start_cycle`` (int).
+    (int), ``start_cycle`` (int). Also carries the optional provenance
+    fields ``repro_version`` / ``git_rev`` (str) — additive, so they
+    did not bump the schema version (validators ignore extra fields).
 ``dpa_init``
     ``cycle`` (int), ``native_high`` (list[bool], one per node) — the
     DPA state when the collector was installed, so the flip stream

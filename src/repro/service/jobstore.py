@@ -1,0 +1,178 @@
+"""Durable job store: append-only journal + per-job result streams.
+
+Layout under the store root::
+
+    jobs.jsonl            append-only job journal (submit/state events)
+    results/<job>.jsonl   per-job result stream (cell records + job_end)
+    endpoint              the daemon's bound URL (written on startup)
+
+Both JSONL files use the :class:`~repro.experiments.cache.SweepJournal`
+framing discipline — every append is newline-framed (leading *and*
+trailing ``\\n``) and fsynced, so a torn write damages at most the line it
+interrupted, and that line fails to parse and is skipped on replay. A
+daemon killed at any instant therefore recovers to a consistent state:
+the journal replays to the last durable job event, and a result stream
+replays to the last durable cell record (an interrupted cell is simply
+re-run — completed cells are never duplicated because recovery reads the
+stream before scheduling the remainder).
+
+The journal records two event kinds::
+
+    {"event": "submit", "v": 1, "job": {...full record incl. spec...}}
+    {"event": "state",  "v": 1, "id": ..., "state": ..., ...extras}
+
+Replay folds state events over submit events; jobs whose folded state is
+non-terminal (``queued``/``running``) are the daemon's recovery set.
+Result streams hold the same ``cell`` records the streaming API serves
+(:func:`~repro.service.protocol.cell_result_to_wire`), so a late client
+can replay a finished job's stream purely from disk.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+
+from repro.service.protocol import PROTOCOL_VERSION, JobRecord, ProtocolError
+
+__all__ = ["JobStore"]
+
+
+def _append_framed(path: pathlib.Path, obj: dict) -> None:
+    """Newline-framed, fsynced single-record append (torn-write safe)."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "a", encoding="utf-8") as fh:
+        fh.write("\n" + json.dumps(obj, sort_keys=True) + "\n")
+        fh.flush()
+        os.fsync(fh.fileno())
+
+
+def _iter_lines(path: pathlib.Path):
+    """Parse a framed JSONL file, skipping blanks and torn lines."""
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError:
+        return
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            yield json.loads(line)
+        except ValueError:
+            continue  # torn tail from an interrupted append
+
+
+class JobStore:
+    """Filesystem-backed durability for the sweep service."""
+
+    def __init__(self, root: str | os.PathLike):
+        self.root = pathlib.Path(root)
+        self.journal_path = self.root / "jobs.jsonl"
+        self.results_dir = self.root / "results"
+        #: job ids whose journaled spec failed to decode on the last recover()
+        self.undecodable: list[str] = []
+
+    # -- journal ------------------------------------------------------------------
+
+    def append_submit(self, record: JobRecord) -> None:
+        _append_framed(
+            self.journal_path,
+            {"event": "submit", "v": PROTOCOL_VERSION, "job": record.submit_wire()},
+        )
+
+    def append_state(self, job_id: str, state: str, **extra) -> None:
+        rec = {"event": "state", "v": PROTOCOL_VERSION, "id": job_id, "state": state}
+        rec.update(extra)
+        _append_framed(self.journal_path, rec)
+
+    def recover(self) -> dict[str, JobRecord]:
+        """Replay the journal into the last-known record per job, by id.
+
+        Submit events for records that no longer decode (e.g. a cell
+        type from a removed module) are dropped with their job id noted
+        in :attr:`undecodable` rather than failing the whole recovery.
+        """
+        jobs: dict[str, JobRecord] = {}
+        self.undecodable: list[str] = []
+        for rec in _iter_lines(self.journal_path):
+            if not isinstance(rec, dict):
+                continue
+            event = rec.get("event")
+            if event == "submit":
+                payload = rec.get("job")
+                if not isinstance(payload, dict):
+                    continue
+                try:
+                    job = JobRecord.from_submit_wire(payload)
+                except (ProtocolError, KeyError, TypeError, ValueError):
+                    job_id = payload.get("id")
+                    if isinstance(job_id, str):
+                        self.undecodable.append(job_id)
+                    continue
+                jobs[job.id] = job
+            elif event == "state":
+                job = jobs.get(rec.get("id"))
+                if job is None:
+                    continue
+                state = rec.get("state")
+                if isinstance(state, str):
+                    job.state = state
+                for attr in ("started_at", "finished_at", "start_seq", "error"):
+                    if attr in rec:
+                        setattr(job, attr, rec[attr])
+        # completed counters come from the durable result streams, not the
+        # journal, so they can never claim more than what is replayable
+        for job in jobs.values():
+            job.completed = len(self.completed_indices(job.id))
+        return jobs
+
+    def next_job_number(self) -> int:
+        """1 + the highest job number ever journaled (ids are ``j<N>``)."""
+        highest = 0
+        for rec in _iter_lines(self.journal_path):
+            if not isinstance(rec, dict) or rec.get("event") != "submit":
+                continue
+            job_id = (rec.get("job") or {}).get("id", "")
+            if isinstance(job_id, str) and job_id.startswith("j"):
+                try:
+                    highest = max(highest, int(job_id[1:]))
+                except ValueError:
+                    continue
+        return highest + 1
+
+    # -- result streams ----------------------------------------------------------
+
+    def result_path(self, job_id: str) -> pathlib.Path:
+        return self.results_dir / f"{job_id}.jsonl"
+
+    def append_result(self, job_id: str, record: dict) -> None:
+        _append_framed(self.result_path(job_id), record)
+
+    def result_records(self, job_id: str) -> list[dict]:
+        """All durable records of a job's stream, in append order."""
+        return [r for r in _iter_lines(self.result_path(job_id)) if isinstance(r, dict)]
+
+    def completed_indices(self, job_id: str) -> set[int]:
+        """Cell indices with a durable result record (never to re-run)."""
+        return {
+            r["index"]
+            for r in self.result_records(job_id)
+            if r.get("kind") == "cell" and isinstance(r.get("index"), int)
+        }
+
+    # -- endpoint advertisement ---------------------------------------------------
+
+    def write_endpoint(self, url: str) -> None:
+        """Advertise the bound URL (atomic; read by clients and tests)."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        tmp = self.root / "endpoint.tmp"
+        tmp.write_text(url + "\n", encoding="utf-8")
+        os.replace(tmp, self.root / "endpoint")
+
+    def read_endpoint(self) -> str | None:
+        try:
+            return (self.root / "endpoint").read_text(encoding="utf-8").strip() or None
+        except OSError:
+            return None

@@ -1,0 +1,356 @@
+"""Integration tests for the sweep service (daemon + client, end to end).
+
+Each test spawns a real daemon subprocess with ``--port 0`` (ephemeral)
+and talks to it over HTTP, exactly like production. The core assertions
+mirror the subsystem's contract:
+
+* service-submitted sweeps are **bit-identical** to direct
+  :func:`~repro.experiments.parallel.run_cells_detailed` execution —
+  same determinism signatures, byte-identical obs JSONL, cache entries
+  shared in both directions;
+* priority classes dispatch strictly (high before normal before low),
+  proven via ``start_seq`` with the daemon started ``--paused``;
+* a full queue answers 429 + Retry-After (backpressure, not failure);
+* a daemon SIGKILLed mid-job recovers on restart: queued and incomplete
+  jobs resume, completed cells are never re-run or duplicated;
+* a killed *worker* (chaos ``kill_once``) is healed by the engine and
+  the daemon stays up.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+import repro
+from repro.experiments.chaos import chaos_cell
+from repro.experiments.parallel import Cell, run_cells_detailed
+from repro.experiments.runner import SCHEMES, Effort
+from repro.experiments.scenarios import two_app_msp
+from repro.obs.collector import ObsConfig
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.jobstore import JobStore
+from repro.service.protocol import JobSpec
+
+SRC_DIR = str(pathlib.Path(repro.__file__).resolve().parents[1])
+
+
+def ok_cell(cell_id: int = 0, seed: int = 1) -> Cell:
+    """A cheap, healthy cell (tiny 4x4 uniform sweep)."""
+    return chaos_cell(SCHEMES["RO_RR"], Effort.SMOKE, seed, mode="ok", cell_id=cell_id)
+
+
+def msp_cells(seeds=(1,)) -> list[Cell]:
+    """Small fig10-shaped cells: the two-app MSP scenario, two schemes."""
+    scenario = two_app_msp(p_inter=1.0)
+    return [
+        Cell.for_scenario(SCHEMES[s], scenario, Effort.SMOKE, seed=seed)
+        for seed in seeds
+        for s in ("RO_RR_Local", "RAIR_Local")
+    ]
+
+
+class Daemon:
+    """A daemon subprocess plus the client pointed at it."""
+
+    def __init__(self, store: pathlib.Path, *extra_args: str):
+        self.store = pathlib.Path(store)
+        endpoint = self.store / "endpoint"
+        endpoint.unlink(missing_ok=True)  # never trust a stale URL
+        env = dict(os.environ)
+        env["PYTHONPATH"] = SRC_DIR + os.pathsep + env.get("PYTHONPATH", "")
+        self.proc = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro.service.daemon",
+                "--store",
+                str(self.store),
+                "--port",
+                "0",
+                *extra_args,
+            ],
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+        )
+        deadline = time.monotonic() + 30.0
+        url = None
+        while time.monotonic() < deadline:
+            if self.proc.poll() is not None:
+                raise AssertionError(
+                    f"daemon exited {self.proc.returncode}: {self.proc.stdout.read()}"
+                )
+            url = JobStore(self.store).read_endpoint()
+            if url:
+                break
+            time.sleep(0.05)
+        assert url, "daemon never advertised an endpoint"
+        self.url = url
+        self.client = ServiceClient(url)
+        assert self.client.health()["status"] == "ok"
+
+    def kill(self) -> None:
+        if self.proc.poll() is None:
+            self.proc.kill()
+            self.proc.wait(10)
+
+    def terminate(self) -> None:
+        if self.proc.poll() is None:
+            self.proc.send_signal(signal.SIGTERM)
+            try:
+                self.proc.wait(10)
+            except subprocess.TimeoutExpired:
+                self.proc.kill()
+                self.proc.wait(10)
+
+    def __enter__(self) -> "Daemon":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.terminate()
+
+
+class TestBitIdentity:
+    def test_service_matches_direct_and_shares_cache(self, tmp_path):
+        cells = msp_cells()
+        cache = str(tmp_path / "cache")
+        direct, direct_report = run_cells_detailed(cells, jobs=1)
+        with Daemon(tmp_path / "store") as daemon:
+            via, via_report = run_cells_detailed(
+                cells, jobs=1, cache=cache, service=daemon.url
+            )
+            assert [r.ok for r in via] == [True] * len(cells)
+            assert via_report.cells == len(cells) == direct_report.cells
+            for d, s in zip(direct, via):
+                assert s.cell == d.cell
+                assert (
+                    s.run.determinism_signature() == d.run.determinism_signature()
+                )
+            # direct run against the cache the *service* populated: all hits
+            _, local_report = run_cells_detailed(cells, jobs=1, cache=cache)
+            assert local_report.cache_hits == len(cells)
+            # and a second service run hits the same entries back
+            _, again_report = run_cells_detailed(
+                cells, jobs=1, cache=cache, service=daemon.url
+            )
+            assert again_report.cache_hits == len(cells)
+
+    def test_obs_jsonl_byte_identical(self, tmp_path):
+        cells = [ok_cell(cell_id=i) for i in range(2)]
+        direct_dir = tmp_path / "obs-direct"
+        service_dir = tmp_path / "obs-service"
+        run_cells_detailed(cells, jobs=1, obs=ObsConfig(dir=str(direct_dir)))
+        with Daemon(tmp_path / "store") as daemon:
+            run_cells_detailed(
+                cells, jobs=1, obs=ObsConfig(dir=str(service_dir)), service=daemon.url
+            )
+        direct_files = sorted(p.name for p in direct_dir.glob("*.jsonl"))
+        service_files = sorted(p.name for p in service_dir.glob("*.jsonl"))
+        assert direct_files == service_files and direct_files
+        for name in direct_files:
+            assert (direct_dir / name).read_bytes() == (
+                service_dir / name
+            ).read_bytes(), name
+
+    def test_streamed_records_match_submitted_cells(self, tmp_path):
+        cells = [ok_cell(cell_id=i) for i in range(3)]
+        with Daemon(tmp_path / "store") as daemon:
+            submitted = daemon.client.submit(JobSpec(cells=cells))
+            records = list(daemon.client.stream_results(submitted["id"]))
+        kinds = [r["kind"] for r in records]
+        assert kinds.count("cell") == 3
+        assert kinds[-1] == "job_end"
+        assert records[-1]["state"] == "done"
+        assert sorted(r["index"] for r in records if r["kind"] == "cell") == [0, 1, 2]
+
+
+class TestSchedulingAndBackpressure:
+    def test_priority_classes_dispatch_in_order(self, tmp_path):
+        with Daemon(tmp_path / "store", "--paused") as daemon:
+            ids = {}
+            for i, priority in enumerate(("low", "normal", "high")):
+                spec = JobSpec(cells=[ok_cell(cell_id=i)], priority=priority)
+                ids[priority] = daemon.client.submit(spec)["id"]
+            # held: nothing dispatched yet
+            assert daemon.client.health()["queued"] == 3
+            daemon.client.resume()
+            seqs = {
+                p: daemon.client.wait(job_id, timeout=120)["start_seq"]
+                for p, job_id in ids.items()
+            }
+            assert seqs["high"] < seqs["normal"] < seqs["low"]
+
+    def test_full_queue_rejects_with_429(self, tmp_path):
+        with Daemon(tmp_path / "store", "--paused", "--max-queued", "1") as daemon:
+            first = daemon.client.submit(JobSpec(cells=[ok_cell(0)]))
+            assert first["state"] == "queued"
+            status, headers, payload = daemon.client._request(
+                "POST", "/v1/jobs", body=JobSpec(cells=[ok_cell(1)]).to_wire()
+            )
+            assert status == 429
+            assert float(headers.get("Retry-After", 0)) > 0
+            assert "full" in payload["error"]
+            with pytest.raises(ServiceError) as exc:
+                daemon.client.submit(
+                    JobSpec(cells=[ok_cell(2)]), retries=1, max_sleep_s=0.1
+                )
+            assert exc.value.status == 429
+            # draining the queue restores admission
+            daemon.client.cancel(first["id"])
+            accepted = daemon.client.submit(JobSpec(cells=[ok_cell(3)]))
+            assert accepted["state"] == "queued"
+
+    def test_cancel_queued_job_terminates_stream(self, tmp_path):
+        with Daemon(tmp_path / "store", "--paused") as daemon:
+            job_id = daemon.client.submit(JobSpec(cells=[ok_cell()]))["id"]
+            cancelled = daemon.client.cancel(job_id)
+            assert cancelled["state"] == "cancelled"
+            records = list(daemon.client.stream_results(job_id))
+            assert [r["kind"] for r in records] == ["job_end"]
+            assert records[-1]["state"] == "cancelled"
+            # cancelling again is a conflict, not a success
+            with pytest.raises(ServiceError) as exc:
+                daemon.client.cancel(job_id)
+            assert exc.value.status == 409
+
+    def test_unknown_job_and_bad_spec(self, tmp_path):
+        with Daemon(tmp_path / "store") as daemon:
+            with pytest.raises(ServiceError) as exc:
+                daemon.client.job("j999999")
+            assert exc.value.status == 404
+            status, _, payload = daemon.client._request(
+                "POST", "/v1/jobs", body={"cells": ["garbage"]}
+            )
+            assert status == 400
+            assert "bad job spec" in payload["error"]
+
+
+@pytest.mark.chaos
+class TestCrashRecovery:
+    def test_killed_daemon_resumes_without_duplicating_cells(self, tmp_path):
+        marker = str(tmp_path / "release.marker")
+        cells = [
+            ok_cell(cell_id=0),
+            chaos_cell(
+                SCHEMES["RO_RR"],
+                Effort.SMOKE,
+                seed=1,
+                mode="wait_marker",
+                marker=marker,
+                cell_id=1,
+            ),
+        ]
+        store = tmp_path / "store"
+        daemon = Daemon(store)
+        try:
+            job_id = daemon.client.submit(JobSpec(cells=cells))["id"]
+            deadline = time.monotonic() + 60.0
+            while time.monotonic() < deadline:
+                if daemon.client.job(job_id)["completed"] >= 1:
+                    break
+                time.sleep(0.05)
+            else:
+                raise AssertionError("first cell never completed")
+            # cell 0 is durable; cell 1 is blocked on the marker. Pull the
+            # plug mid-job.
+            daemon.kill()
+        finally:
+            daemon.kill()
+
+        open(marker, "w").close()  # release the blocked cell for the revival
+        with Daemon(store) as revived:
+            status = revived.client.wait(job_id, timeout=120)
+            assert status["state"] == "done"
+            records = list(revived.client.stream_results(job_id))
+            cell_records = [r for r in records if r["kind"] == "cell"]
+            indices = [r["index"] for r in cell_records]
+            # every cell exactly once: the completed cell was not re-run
+            assert sorted(indices) == [0, 1]
+            assert len(indices) == len(set(indices))
+            assert records[-1]["kind"] == "job_end"
+            assert records[-1]["report"]["resumed"] >= 1
+
+    def test_queued_jobs_survive_restart(self, tmp_path):
+        store = tmp_path / "store"
+        daemon = Daemon(store, "--paused")
+        try:
+            job_id = daemon.client.submit(JobSpec(cells=[ok_cell()]))["id"]
+            daemon.kill()
+        finally:
+            daemon.kill()
+        with Daemon(store) as revived:  # not paused: dispatch resumes
+            status = revived.client.wait(job_id, timeout=120)
+            assert status["state"] == "done"
+            assert status["completed"] == 1
+
+    def test_daemon_survives_killed_worker(self, tmp_path):
+        # kill_once SIGKILLs the *executing* process. jobs=2 puts cells in
+        # pool workers, so the casualty is a worker — never the daemon —
+        # and the engine's pool rebuild + retry heals the cell.
+        marker = str(tmp_path / "kill.marker")
+        cells = [
+            chaos_cell(
+                SCHEMES["RO_RR"],
+                Effort.SMOKE,
+                seed=1,
+                mode="kill_once",
+                marker=marker,
+                cell_id=0,
+            ),
+            ok_cell(cell_id=1),
+        ]
+        with Daemon(tmp_path / "store") as daemon:
+            results, report = run_cells_detailed(cells, jobs=2, service=daemon.url)
+            assert [r.ok for r in results] == [True, True]
+            assert report.retries >= 1
+            health = daemon.client.health()
+            assert health["status"] == "ok"
+            assert daemon.proc.poll() is None
+
+
+class TestSubmitCli:
+    def run_cli(self, *args: str) -> subprocess.CompletedProcess:
+        env = dict(os.environ)
+        env["PYTHONPATH"] = SRC_DIR + os.pathsep + env.get("PYTHONPATH", "")
+        return subprocess.run(
+            [sys.executable, "-m", "repro.service.submit", *args],
+            env=env,
+            capture_output=True,
+            text=True,
+            timeout=300,
+        )
+
+    def test_health_list_show_watch(self, tmp_path):
+        with Daemon(tmp_path / "store") as daemon:
+            job_id = daemon.client.submit(JobSpec(cells=[ok_cell()]))["id"]
+            daemon.client.wait(job_id, timeout=120)
+
+            health = self.run_cli("--service", daemon.url, "health")
+            assert health.returncode == 0
+            assert json.loads(health.stdout)["status"] == "ok"
+
+            # store-directory form of --service resolves via the endpoint file
+            listing = self.run_cli("--service", str(tmp_path / "store"), "list")
+            assert listing.returncode == 0
+            assert [j["id"] for j in json.loads(listing.stdout)] == [job_id]
+
+            shown = self.run_cli("--service", daemon.url, "show", job_id)
+            assert json.loads(shown.stdout)["state"] == "done"
+
+            watched = self.run_cli("--service", daemon.url, "watch", job_id)
+            assert watched.returncode == 0
+            assert f"job {job_id}: done" in watched.stdout
+
+    def test_unreachable_service_is_a_clean_error(self, tmp_path):
+        result = self.run_cli("--service", "http://127.0.0.1:9", "health")
+        assert result.returncode == 1
+        assert "error:" in result.stderr

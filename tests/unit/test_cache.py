@@ -219,6 +219,26 @@ class TestSweepJournal:
         journal.record(self.KEYS[2])  # appending after a torn tail still works
         assert self.KEYS[2] in journal.load()
 
+    def test_truncated_mid_record_discards_partial_line_only(self, tmp_path):
+        # A crash can also *shorten* the file (lost tail of a page write):
+        # resume must keep every whole record and silently drop the one
+        # the truncation bisected.
+        journal = SweepJournal(tmp_path, "deadbeef")
+        for key in self.KEYS:
+            journal.record(key)
+        size = journal.path.stat().st_size
+        # cut=1 would only shave the trailing newline — the record content
+        # survives whole and is rightly kept; cut>=2 bisects the JSON
+        for cut in (2, 7, 25):  # various mid-final-record truncation points
+            with open(journal.path, "r+b") as fh:
+                fh.truncate(size - cut)
+            loaded = journal.load()
+            assert self.KEYS[0] in loaded and self.KEYS[1] in loaded
+            assert self.KEYS[2] not in loaded  # bisected record dropped
+        # and the journal remains appendable afterwards
+        journal.record(self.KEYS[2])
+        assert journal.load() == set(self.KEYS)
+
     def test_non_ok_and_malformed_records_are_ignored(self, tmp_path):
         journal = SweepJournal(tmp_path, "deadbeef")
         journal.record(self.KEYS[0], status="failed")

@@ -1,0 +1,221 @@
+"""Unit tests for the service wire protocol (repro.service.protocol)."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import replace
+
+import pytest
+
+from repro.experiments.cache import cache_key
+from repro.experiments.parallel import Cell, CellFailure, CellResult, ExecutionReport, FaultPolicy
+from repro.experiments.runner import SCHEMES, Effort
+from repro.experiments.scenarios import ScenarioSpec
+from repro.noc.config import NocConfig, VcClass
+from repro.service.protocol import (
+    JobRecord,
+    JobSpec,
+    ProtocolError,
+    cell_result_from_wire,
+    cell_result_to_wire,
+    decode_cells,
+    decode_value,
+    encode_cells,
+    encode_value,
+    report_from_wire,
+    report_to_wire,
+    stamp,
+)
+
+
+def roundtrip(obj):
+    """Encode -> JSON text -> decode, exactly what the wire does."""
+    return decode_value(json.loads(json.dumps(encode_value(obj))))
+
+
+def make_cell(scheme="RAIR", seed=7, cell_id=0) -> Cell:
+    return Cell(
+        scheme=SCHEMES["RAIR_Local"] if scheme == "RAIR" else SCHEMES[scheme],
+        spec=ScenarioSpec(
+            "repro.experiments.chaos:chaos_scenario",
+            {"mode": "ok", "marker": None, "cell_id": cell_id, "rate": 0.05},
+        ),
+        effort=Effort.SMOKE,
+        seed=seed,
+    )
+
+
+class TestValueCodec:
+    def test_scalars_pass_through(self):
+        for value in (None, True, False, 0, -3, 1.5, "x", ""):
+            assert roundtrip(value) == value
+
+    def test_containers(self):
+        assert roundtrip([1, [2, 3], "a"]) == [1, [2, 3], "a"]
+        assert roundtrip((1, 2)) == (1, 2)
+        assert roundtrip({"a": (1,), "b": {"c": None}}) == {"a": (1,), "b": {"c": None}}
+
+    def test_non_string_dict_keys(self):
+        assert roundtrip({1: "a", (2, 3): "b"}) == {1: "a", (2, 3): "b"}
+
+    def test_plain_enum_by_name(self):
+        assert roundtrip(Effort.SMOKE) is Effort.SMOKE
+
+    def test_int_enum_keeps_type(self):
+        # VcClass is an IntEnum: it must NOT collapse to a bare int,
+        # because NocConfig.__post_init__ type-checks the members.
+        out = roundtrip(VcClass.GLOBAL)
+        assert out is VcClass.GLOBAL
+        assert isinstance(out, VcClass)
+
+    def test_flag_combination_roundtrips(self):
+        from repro.core.msp import Stage
+
+        combo = Stage.VA | Stage.SA
+        assert roundtrip(combo) == combo
+
+    def test_dataclass_roundtrip_preserves_equality(self):
+        cfg = NocConfig(width=4, height=4)
+        assert roundtrip(cfg) == cfg
+
+    def test_rejects_unencodable(self):
+        with pytest.raises(ProtocolError):
+            encode_value(object())
+
+    def test_decode_rejects_non_repro_types(self):
+        evil = {"__repro__": "dataclass", "type": "os:environ", "fields": {}}
+        with pytest.raises(ProtocolError):
+            decode_value(evil)
+        evil = {"__repro__": "enum", "type": "pickle:Pickler", "name": "x"}
+        with pytest.raises(ProtocolError):
+            decode_value(evil)
+
+    def test_decode_rejects_unknown_tag(self):
+        with pytest.raises(ProtocolError):
+            decode_value({"__repro__": "mystery"})
+
+    def test_decode_rejects_unknown_enum_member(self):
+        wire = json.loads(json.dumps(encode_value(Effort.SMOKE)))
+        wire["name"] = "NOPE"
+        with pytest.raises(ProtocolError):
+            decode_value(wire)
+
+
+class TestCellCodec:
+    def test_cell_roundtrip_equal_and_same_cache_key(self):
+        cell = make_cell()
+        out = roundtrip(cell)
+        assert out == cell
+        assert cache_key(out) == cache_key(cell)
+
+    def test_scheme_with_flag_and_policy_kwargs(self):
+        # RAIR_VA carries a Stage flag; RAIR_DPA carries a DpaConfig —
+        # the two hardest schemes to move invertibly.
+        for name in ("RAIR_VA", "RAIR_DPA", "RAIR_VA+SA"):
+            cell = replace(make_cell(), scheme=SCHEMES[name])
+            out = roundtrip(cell)
+            assert out == cell, name
+            assert cache_key(out) == cache_key(cell), name
+
+    def test_cell_with_config_override(self):
+        cell = replace(make_cell(), config=NocConfig(width=4, height=4))
+        out = roundtrip(cell)
+        assert out == cell
+        assert cache_key(out) == cache_key(cell)
+
+    def test_encode_decode_cells_typechecks(self):
+        cells = [make_cell(cell_id=i) for i in range(3)]
+        assert decode_cells(encode_cells(cells)) == cells
+        with pytest.raises(ProtocolError):
+            decode_cells([encode_value("not a cell")])
+
+
+class TestResultCodec:
+    def test_failure_result_roundtrip(self):
+        cell = make_cell()
+        failure = CellFailure(
+            error_type="SimulationError",
+            message="boom",
+            traceback="tb",
+            attempts=3,
+            wall_time_s=0.5,
+            retryable=False,
+        )
+        res = CellResult(cell=cell, index=4, failure=failure, attempts=3)
+        rec = json.loads(json.dumps(cell_result_to_wire(res, seq=9)))
+        assert rec["kind"] == "cell" and rec["seq"] == 9
+        out = cell_result_from_wire(rec)
+        assert out.cell == cell
+        assert out.index == 4
+        assert out.run is None
+        assert out.failure == failure
+        assert not out.ok
+
+    def test_report_roundtrip(self):
+        rep = ExecutionReport(
+            cells=5, jobs=2, cache_hits=1, cache_misses=4, failures=1,
+            wall_time_s=1.25, sim_cycles=1000, cached=True, retries=2,
+        )
+        out = report_from_wire(json.loads(json.dumps(report_to_wire(rep))))
+        assert out == rep
+
+    def test_report_from_wire_ignores_unknown_fields(self):
+        payload = report_to_wire(ExecutionReport(cells=1, jobs=1))
+        payload["from_the_future"] = 1
+        assert report_from_wire(payload).cells == 1
+
+
+class TestJobSpec:
+    def test_roundtrip(self):
+        spec = JobSpec(
+            cells=[make_cell(cell_id=i) for i in range(2)],
+            priority="high",
+            jobs=2,
+            cache="/tmp/cache",
+            policy=FaultPolicy(max_attempts=2, wall_timeout_s=30.0),
+        )
+        out = JobSpec.from_wire(json.loads(json.dumps(spec.to_wire())))
+        assert out == spec
+        assert out.cell_keys() == spec.cell_keys()
+
+    def test_validation(self):
+        with pytest.raises(ProtocolError):
+            JobSpec(cells=[make_cell()], priority="urgent")
+        with pytest.raises(ProtocolError):
+            JobSpec(cells=[make_cell()], jobs=0)
+        with pytest.raises(ProtocolError):
+            JobSpec(cells=[])
+        with pytest.raises(ProtocolError):
+            JobSpec.from_wire({"priority": "high"})
+        with pytest.raises(ProtocolError):
+            JobSpec.from_wire("nope")
+
+
+class TestJobRecord:
+    def test_new_stamps_provenance(self):
+        job = JobRecord.new("j000001", JobSpec(cells=[make_cell()]))
+        assert job.meta["repro_version"] == stamp()["repro_version"]
+        assert "git_rev" in job.meta
+        assert job.state == "queued" and not job.terminal
+
+    def test_submit_wire_roundtrip(self):
+        job = JobRecord.new("j000002", JobSpec(cells=[make_cell()], priority="low"))
+        job.state = "running"
+        job.start_seq = 3
+        out = JobRecord.from_submit_wire(json.loads(json.dumps(job.submit_wire())))
+        assert out.id == job.id
+        assert out.spec == job.spec
+        assert out.state == "running"
+        assert out.start_seq == 3
+        assert out.priority == "low"
+
+    def test_status_wire_has_no_spec(self):
+        job = JobRecord.new("j000003", JobSpec(cells=[make_cell()]))
+        assert "spec" not in job.status_wire()
+
+    def test_bad_state_rejected(self):
+        job = JobRecord.new("j000004", JobSpec(cells=[make_cell()]))
+        wire = job.submit_wire()
+        wire["state"] = "exploded"
+        with pytest.raises(ProtocolError):
+            JobRecord.from_submit_wire(wire)

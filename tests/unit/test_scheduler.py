@@ -1,0 +1,138 @@
+"""Unit tests for the service scheduler (repro.service.scheduler)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.parallel import Cell
+from repro.experiments.runner import SCHEMES, Effort
+from repro.experiments.scenarios import ScenarioSpec
+from repro.service.protocol import JobRecord, JobSpec
+from repro.service.scheduler import PriorityScheduler, QueueFull
+
+
+def make_job(job_id: str, priority: str = "normal") -> JobRecord:
+    cell = Cell(
+        scheme=SCHEMES["RO_RR"],
+        spec=ScenarioSpec(
+            "repro.experiments.chaos:chaos_scenario",
+            {"mode": "ok", "marker": None, "cell_id": 0, "rate": 0.05},
+        ),
+        effort=Effort.SMOKE,
+        seed=1,
+    )
+    return JobRecord.new(job_id, JobSpec(cells=[cell], priority=priority))
+
+
+class TestDispatchOrder:
+    def test_fifo_within_class(self):
+        sched = PriorityScheduler()
+        for i in range(3):
+            sched.submit(make_job(f"j{i}"))
+        assert [sched.next_job() for _ in range(3)] == ["j0", "j1", "j2"]
+
+    def test_strict_priority_across_classes(self):
+        sched = PriorityScheduler()
+        sched.submit(make_job("low1", "low"))
+        sched.submit(make_job("norm1", "normal"))
+        sched.submit(make_job("high1", "high"))
+        sched.submit(make_job("high2", "high"))
+        order = [sched.next_job() for _ in range(4)]
+        assert order == ["high1", "high2", "norm1", "low1"]
+
+    def test_late_high_jumps_queued_normal(self):
+        sched = PriorityScheduler()
+        sched.submit(make_job("n1"))
+        sched.submit(make_job("n2"))
+        assert sched.next_job() == "n1"  # already dispatched: not preempted
+        sched.submit(make_job("h1", "high"))
+        assert sched.next_job() == "h1"
+        assert sched.next_job() == "n2"
+
+    def test_empty_returns_none(self):
+        assert PriorityScheduler().next_job() is None
+
+    def test_dispatched_counter_is_start_seq_source(self):
+        sched = PriorityScheduler()
+        sched.submit(make_job("a"))
+        sched.submit(make_job("b"))
+        assert sched.dispatched == 0
+        sched.next_job()
+        assert sched.dispatched == 1
+        sched.next_job()
+        assert sched.dispatched == 2
+
+
+class TestAdmissionControl:
+    def test_queue_full_raises_with_retry_hint(self):
+        sched = PriorityScheduler(max_queued=2, retry_after_s=1.5)
+        sched.submit(make_job("a"))
+        sched.submit(make_job("b", "high"))
+        with pytest.raises(QueueFull) as exc:
+            sched.submit(make_job("c"))
+        assert exc.value.retry_after_s == 1.5
+
+    def test_bound_is_global_across_classes(self):
+        sched = PriorityScheduler(max_queued=1)
+        sched.submit(make_job("a", "low"))
+        with pytest.raises(QueueFull):
+            sched.submit(make_job("b", "high"))
+
+    def test_dispatch_frees_capacity(self):
+        sched = PriorityScheduler(max_queued=1)
+        sched.submit(make_job("a"))
+        sched.next_job()
+        sched.submit(make_job("b"))  # no raise: queue drained
+
+    def test_requeue_bypasses_the_bound(self):
+        # recovery re-admits already-accepted jobs even past max_queued:
+        # the bound gates new work, not a restart
+        sched = PriorityScheduler(max_queued=1)
+        sched.requeue(make_job("a"))
+        sched.requeue(make_job("b", "high"))
+        assert sched.queued == 2
+        assert sched.next_job() == "b"
+
+    def test_rejects_silly_bound(self):
+        with pytest.raises(ValueError):
+            PriorityScheduler(max_queued=0)
+
+
+class TestCancelAndPosition:
+    def test_cancel_queued(self):
+        sched = PriorityScheduler()
+        sched.submit(make_job("a"))
+        sched.submit(make_job("b"))
+        assert sched.cancel("a") is True
+        assert sched.next_job() == "b"
+
+    def test_cancel_running_refused(self):
+        sched = PriorityScheduler()
+        sched.submit(make_job("a"))
+        sched.next_job()
+        assert sched.cancel("a") is False
+
+    def test_position_accounts_for_higher_classes(self):
+        sched = PriorityScheduler()
+        sched.submit(make_job("n1"))
+        sched.submit(make_job("h1", "high"))
+        assert sched.position("h1") == 0
+        assert sched.position("n1") == 1
+        assert sched.position("missing") is None
+
+    def test_finish_clears_running(self):
+        sched = PriorityScheduler()
+        sched.submit(make_job("a"))
+        sched.next_job()
+        assert "a" in sched.running
+        sched.finish("a")
+        assert "a" not in sched.running
+
+    def test_snapshot_shape(self):
+        sched = PriorityScheduler(max_queued=7)
+        sched.submit(make_job("a", "low"))
+        snap = sched.snapshot()
+        assert snap["queued"] == 1
+        assert snap["max_queued"] == 7
+        assert snap["by_priority"]["low"] == 1
+        assert snap["running"] == 0
